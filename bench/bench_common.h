@@ -1,0 +1,51 @@
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench prints the paper's reference numbers next to the measured
+// ones so the reproduction can be judged at a glance. Absolute values are
+// not expected to match (the paper measured a Mininet testbed; we measure
+// a calibrated simulator) — the scenario *ordering* and rough ratios are
+// the reproduction target.
+//
+// Env knobs:
+//   NETCO_BENCH_QUICK=1  — minimal runs (CI smoke)
+//   NETCO_BENCH_FULL=1   — the paper's full methodology (10+10 × 10 s)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/scenarios.h"
+#include "stats/table.h"
+
+namespace netco::bench {
+
+/// Methodology scale factors resolved from the environment.
+struct BenchScale {
+  int tcp_runs;                ///< per scenario
+  sim::Duration tcp_per_run;
+  sim::Duration udp_per_run;
+  int ping_sequences;          ///< sequences of 50 cycles
+  int udp_jitter_ms_runs;      ///< repetitions per packet size
+
+  static BenchScale resolve() {
+    if (std::getenv("NETCO_BENCH_QUICK") != nullptr) {
+      return {2, sim::Duration::milliseconds(600),
+              sim::Duration::milliseconds(300), 1, 1};
+    }
+    if (std::getenv("NETCO_BENCH_FULL") != nullptr) {
+      // The paper: 10 runs each direction × 10 s; 3 × 50 ping cycles;
+      // 5 jitter measurements per size.
+      return {20, sim::Duration::seconds(10), sim::Duration::seconds(2), 3, 5};
+    }
+    return {6, sim::Duration::milliseconds(1100),
+            sim::Duration::milliseconds(400), 3, 2};
+  }
+};
+
+/// Prints the standard bench header.
+inline void print_header(const char* figure, const char* caption) {
+  std::printf("\n=== NetCo reproduction — %s ===\n%s\n\n", figure, caption);
+}
+
+}  // namespace netco::bench

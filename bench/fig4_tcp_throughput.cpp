@@ -1,0 +1,37 @@
+// Figure 4: TCP throughput for the six §V-A scenarios.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace netco;
+  using namespace netco::scenario;
+  const auto scale = bench::BenchScale::resolve();
+  bench::print_header(
+      "Figure 4 (TCP throughput)",
+      "iperf-style bulk TCP, direction alternating per run; receiver-side "
+      "goodput.");
+
+  // Table I row (POX3 is shown in the figure but not the table; the paper
+  // text calls it \"comparatively poor\").
+  const double paper[] = {474, 122, 72, 145, 78, -1};
+
+  stats::TablePrinter table({"scenario", "paper Mb/s", "measured Mb/s",
+                             "stddev", "runs"});
+  int i = 0;
+  for (auto kind : all_scenarios()) {
+    const auto result = measure_tcp(kind, scale.tcp_runs, scale.tcp_per_run);
+    table.add_row({to_string(kind),
+                   paper[i] < 0 ? "(low)" : stats::TablePrinter::num(paper[i], 0),
+                   stats::TablePrinter::num(result.mbps.mean, 1),
+                   stats::TablePrinter::num(result.mbps.stddev, 1),
+                   std::to_string(scale.tcp_runs)});
+    std::fflush(stdout);
+    ++i;
+  }
+  table.print();
+  std::printf(
+      "\nShape checks: Linespeed dominates; Central3 > Dup3-class collapse;\n"
+      "k=5 below k=3; POX3 far below Central3.\n");
+  return 0;
+}

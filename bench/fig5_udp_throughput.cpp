@@ -1,0 +1,35 @@
+// Figure 5: maximum UDP throughput at loss < 0.5% for the six scenarios
+// (the iperf -u / -b search of §V-A).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace netco;
+  using namespace netco::scenario;
+  const auto scale = bench::BenchScale::resolve();
+  bench::print_header(
+      "Figure 5 (UDP max throughput, loss < 0.5%)",
+      "Offered rate bisected until the highest rate within the loss bound.");
+
+  const double paper[] = {278, 266, 149, 245, 156, -1};
+
+  stats::TablePrinter table({"scenario", "paper Mb/s", "measured Mb/s",
+                             "loss at max", "jitter ms"});
+  int i = 0;
+  for (auto kind : all_scenarios()) {
+    const auto result = find_udp_max(kind, 0.005, scale.udp_per_run);
+    table.add_row({to_string(kind),
+                   paper[i] < 0 ? "(low)" : stats::TablePrinter::num(paper[i], 0),
+                   stats::TablePrinter::num(result.goodput_mbps, 1),
+                   stats::TablePrinter::num(result.loss_rate * 100, 2) + "%",
+                   stats::TablePrinter::num(result.jitter_ms, 3)});
+    std::fflush(stdout);
+    ++i;
+  }
+  table.print();
+  std::printf(
+      "\nShape checks: UDP approximates Linespeed far better than TCP does\n"
+      "(connectionless, no congestion reaction); Dup3 ~ Central3 >> k=5.\n");
+  return 0;
+}

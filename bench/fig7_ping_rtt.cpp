@@ -1,0 +1,53 @@
+// Figure 7: ping round-trip time for the five Table-I scenarios (plus
+// POX3 for reference). Paper methodology: average of three sequences of 50
+// consecutive ICMP request/response cycles.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace netco;
+  using namespace netco::scenario;
+  const auto scale = bench::BenchScale::resolve();
+  bench::print_header(
+      "Figure 7 (ping RTT)",
+      "Average of sequences of 50 consecutive ICMP echo cycles.");
+
+  const double paper_avg[] = {0.181, 0.189, 0.26, 0.319, 0.415, -1};
+
+  stats::TablePrinter table({"scenario", "paper avg ms", "avg ms", "min ms",
+                             "max ms", "mdev ms", "replies"});
+  int i = 0;
+  for (auto kind : all_scenarios()) {
+    std::vector<double> all_rtts;
+    int replies = 0, sent = 0;
+    for (int seq = 0; seq < scale.ping_sequences; ++seq) {
+      const auto report =
+          measure_ping(kind, 50, sim::Duration::milliseconds(10),
+                       1 + static_cast<std::uint64_t>(seq));
+      all_rtts.insert(all_rtts.end(), report.rtts_ms.begin(),
+                      report.rtts_ms.end());
+      replies += report.received;
+      sent += report.transmitted;
+    }
+    const auto summary = stats::summarize(all_rtts);
+    table.add_row(
+        {to_string(kind),
+         paper_avg[i] < 0 ? "(high)"
+                          : stats::TablePrinter::num(paper_avg[i], 3),
+         stats::TablePrinter::num(summary.mean, 3),
+         stats::TablePrinter::num(summary.min, 3),
+         stats::TablePrinter::num(summary.max, 3),
+         stats::TablePrinter::num(summary.stddev, 3),
+         std::to_string(replies) + "/" + std::to_string(sent)});
+    std::fflush(stdout);
+    ++i;
+  }
+  table.print();
+  std::printf(
+      "\nShape checks: RTT grows Linespeed < Dup3 < Dup5 < Central3 < "
+      "Central5 << POX3\n(the compare detour costs more than destination "
+      "buffering; the controller\npipe costs most of all).\n");
+  return 0;
+}

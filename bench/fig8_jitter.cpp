@@ -1,0 +1,48 @@
+// Figure 8: UDP interarrival jitter for varying datagram sizes, all six
+// scenarios, at a fixed offered bit rate. The paper's finding: bigger
+// packets → lower jitter. At a fixed bit rate, small datagrams mean many
+// more packets per second against per-packet service costs — deeper
+// queues at every hop, a faster-filling compare cache, and more frequent
+// cleanup stalls.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace netco;
+  using namespace netco::scenario;
+  const auto scale = bench::BenchScale::resolve();
+  bench::print_header(
+      "Figure 8 (jitter vs datagram size)",
+      "UDP at a fixed 10 Mb/s offered rate; RFC 3550 smoothed jitter at "
+      "the sink. Cells: jitter in ms.");
+
+  const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1470};
+  std::vector<std::string> headers = {"scenario"};
+  for (auto s : sizes) headers.push_back(std::to_string(s) + "B");
+  stats::TablePrinter table(std::move(headers));
+
+  for (auto kind : all_scenarios()) {
+    std::vector<std::string> row = {to_string(kind)};
+    for (std::size_t size : sizes) {
+      std::vector<double> samples;
+      for (int run = 0; run < scale.udp_jitter_ms_runs; ++run) {
+        const auto result = measure_udp_at(
+            kind, DataRate::megabits_per_sec(10), scale.udp_per_run,
+            1 + static_cast<std::uint64_t>(run) * 101, size);
+        samples.push_back(result.jitter_ms);
+      }
+      row.push_back(
+          stats::TablePrinter::num(stats::summarize(samples).mean, 4));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nShape checks: jitter falls as datagrams grow; the combiner "
+      "scenarios pay\nthe largest small-packet penalty (queueing at the "
+      "compare plus cache churn).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// §VII: virtualized NetCo vs the physical combiner — hardware cost and
+// performance overhead, plus attack filtering on the overlay.
+#include <cstdio>
+
+#include "adversary/behaviors.h"
+#include "bench_common.h"
+#include "host/ping.h"
+#include "host/udp_app.h"
+#include "topo/virtual_overlay.h"
+
+namespace {
+
+using namespace netco;
+
+struct OverlayResult {
+  double rtt_ms = 0.0;
+  double goodput_mbps = 0.0;
+  double loss = 0.0;
+  int replies = 0;
+};
+
+OverlayResult run_overlay(int paths, bool attack) {
+  topo::VirtualOverlayOptions options;
+  options.paths = paths;
+  topo::VirtualOverlayTopology topo(options);
+  adversary::ModifyBehavior modify(adversary::match_all(),
+                                   adversary::ModifyBehavior::corrupt_payload());
+  if (attack) topo.path_switch(0, 0).set_interceptor(&modify);
+
+  OverlayResult out;
+  {
+    host::PingConfig config;
+    config.dst_mac = topo.host_b().mac();
+    config.dst_ip = topo.host_b().ip();
+    config.count = 50;
+    config.interval = sim::Duration::milliseconds(5);
+    host::IcmpPinger pinger(topo.host_a(), config);
+    pinger.start();
+    while (!pinger.finished() &&
+           topo.simulator().now().sec() < 3.0) {
+      topo.simulator().run_for(sim::Duration::milliseconds(10));
+    }
+    const auto report = pinger.report();
+    out.rtt_ms = report.avg_ms;
+    out.replies = report.received;
+  }
+  {
+    host::UdpSenderConfig config;
+    config.dst_mac = topo.host_b().mac();
+    config.dst_ip = topo.host_b().ip();
+    config.rate = DataRate::megabits_per_sec(100);
+    host::UdpSender sender(topo.host_a(), config);
+    host::UdpSink sink(topo.host_b(), config.dst_port);
+    sender.start();
+    topo.simulator().run_for(sim::Duration::milliseconds(100));
+    sink.reset();
+    const auto t0 = topo.simulator().now();
+    topo.simulator().run_for(sim::Duration::milliseconds(400));
+    sender.stop();
+    const double secs = (topo.simulator().now() - t0).sec();
+    topo.simulator().run_for(sim::Duration::milliseconds(50));
+    const auto report = sink.report();
+    out.goodput_mbps =
+        static_cast<double>(report.payload_bytes_unique) * 8 / secs / 1e6;
+    out.loss = report.loss_rate;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netco;
+  bench::print_header(
+      "§VII (virtualized NetCo)",
+      "Flow split over k vendor-disjoint tunnels; inband tag-keyed compare "
+      "at the trusted egress. Hardware cost vs the physical combiner:");
+
+  stats::TablePrinter cost({"architecture", "extra untrusted routers",
+                            "extra trusted boxes", "uses existing paths"});
+  cost.add_row({"physical combiner (k=3, 2-port)", "3", "2 edges + compare",
+                "no"});
+  cost.add_row({"virtualized combiner (k=3)", "0", "2 edges + compare",
+                "yes"});
+  cost.print();
+
+  stats::TablePrinter perf({"configuration", "RTT ms", "UDP goodput Mb/s",
+                            "loss %", "ping replies/50"});
+  struct Row {
+    const char* name;
+    int paths;
+    bool attack;
+  };
+  const Row rows[] = {
+      {"virtual k=3, benign", 3, false},
+      {"virtual k=3, one corrupting path", 3, true},
+      {"virtual k=5, benign", 5, false},
+      {"virtual k=5, one corrupting path", 5, true},
+  };
+  for (const auto& row : rows) {
+    const auto r = run_overlay(row.paths, row.attack);
+    perf.add_row({row.name, stats::TablePrinter::num(r.rtt_ms, 3),
+                  stats::TablePrinter::num(r.goodput_mbps, 1),
+                  stats::TablePrinter::num(r.loss * 100, 2),
+                  std::to_string(r.replies)});
+    std::fflush(stdout);
+  }
+  perf.print();
+  std::printf(
+      "\nThe overlay preserves the combiner guarantees (a corrupting path "
+      "changes\nnothing for the receiver) at zero additional router "
+      "hardware — the paper's\ncost argument for virtualization.\n");
+  return 0;
+}

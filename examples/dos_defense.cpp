@@ -1,0 +1,64 @@
+// §II attack class 4: a compromised replica floods fabricated traffic to
+// exhaust the network — and the compare's case-2 logic (§IV) cuts it off.
+//
+//   ./build/examples/dos_defense
+#include <cstdio>
+
+#include "adversary/behaviors.h"
+#include "host/ping.h"
+#include "scenario/scenarios.h"
+#include "topo/figure3.h"
+
+int main() {
+  using namespace netco;
+
+  auto options = scenario::make_options(scenario::ScenarioKind::kCentral3, 7);
+  topo::Figure3Topology topo(options);
+
+  // The malicious replica fabricates 200k packets/s of unique garbage —
+  // ~3.5× the compare's processing capacity.
+  adversary::DosFlooder::Config flood_config;
+  flood_config.out_port = topo.combiner().replica_edge_port[0][1];
+  flood_config.packets_per_sec = 200'000;
+  flood_config.packet_bytes = 200;
+  flood_config.dst_mac = topo.h2().mac();
+  flood_config.src_mac = topo.h1().mac();
+  adversary::DosFlooder flooder(*topo.combiner().replicas[0], flood_config);
+  flooder.start();
+  std::printf("replica %s floods 200k fabricated packets/s toward h2\n\n",
+              topo.combiner().replicas[0]->name().c_str());
+
+  // Victim traffic: pings every 25 ms. Watch per-ping outcome around the
+  // moment the compare blocks the port.
+  host::PingConfig config;
+  config.dst_mac = topo.h2().mac();
+  config.dst_ip = topo.h2().ip();
+  config.count = 12;
+  config.interval = sim::Duration::milliseconds(25);
+  config.timeout = sim::Duration::milliseconds(400);
+  host::IcmpPinger pinger(topo.h1(), config);
+  pinger.start();
+  while (!pinger.finished() && topo.simulator().now().sec() < 6.0) {
+    topo.simulator().run_for(sim::Duration::milliseconds(20));
+  }
+  flooder.stop();
+
+  const auto report = pinger.report();
+  std::printf("victim pings: %d/%d completed (flood emitted %llu packets)\n",
+              report.received, report.transmitted,
+              static_cast<unsigned long long>(flooder.emitted()));
+
+  for (const auto& alarm : topo.combiner().compare->alarms()) {
+    const char* kind =
+        alarm.kind == core::CompareAlarm::Kind::kPortBlocked
+            ? "PORT BLOCKED (flood)"
+            : "replica inactive";
+    std::printf("alarm at t=%.1f ms on %s: replica %d — %s\n",
+                alarm.at.sec() * 1e3, alarm.edge.c_str(), alarm.replica, kind);
+  }
+  std::printf(
+      "\nThe garbage monitor attributed the fabricated singletons to the\n"
+      "flooding replica and advised blocking its port (§IV case 2); the\n"
+      "flood dies at the trusted edge and the early losses stop.\n");
+  return 0;
+}

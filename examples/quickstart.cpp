@@ -1,0 +1,93 @@
+// Quickstart: build the paper's reference topology (Fig. 3) with a k=3
+// robust combiner, attack one replica, and watch NetCo mask it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "adversary/behaviors.h"
+#include "host/ping.h"
+#include "host/udp_app.h"
+#include "scenario/scenarios.h"
+#include "topo/figure3.h"
+
+int main() {
+  using namespace netco;
+
+  // 1. A Fig. 3 network: h1 — [s1 | r0 r1 r2 | s2] — h2, with the compare
+  //    process attached to the trusted edges s1/s2 out-of-band.
+  auto options = scenario::make_options(scenario::ScenarioKind::kCentral3,
+                                        /*seed=*/42);
+  topo::Figure3Topology topo(options);
+  std::printf("Built Fig. 3 topology: %zu nodes, k=%d combiner\n",
+              topo.network().nodes().size(), options.combiner.k);
+  for (const auto* replica : topo.combiner().replicas) {
+    std::printf("  replica %-10s vendor=%s\n", replica->name().c_str(),
+                replica->profile().vendor.c_str());
+  }
+
+  // 2. Make one replica malicious: it corrupts every payload it forwards.
+  adversary::ModifyBehavior corrupt(adversary::match_all(),
+                                    adversary::ModifyBehavior::corrupt_payload());
+  topo.combiner().replicas[0]->set_interceptor(&corrupt);
+  std::printf("\nInstalled payload-corruption attack on %s\n",
+              topo.combiner().replicas[0]->name().c_str());
+
+  // 3. Ping through the combiner: the two honest replicas out-vote it.
+  host::PingConfig ping_config;
+  ping_config.dst_mac = topo.h2().mac();
+  ping_config.dst_ip = topo.h2().ip();
+  ping_config.count = 20;
+  ping_config.interval = sim::Duration::milliseconds(5);
+  host::IcmpPinger pinger(topo.h1(), ping_config);
+  pinger.start();
+  while (!pinger.finished() && topo.simulator().now().sec() < 3.0) {
+    topo.simulator().run_for(sim::Duration::milliseconds(10));
+  }
+  const auto ping = pinger.report();
+  std::printf("\nping h1 -> h2 through the combiner:\n");
+  std::printf("  %d/%d replies, rtt avg %.3f ms (min %.3f / max %.3f)\n",
+              ping.received, ping.transmitted, ping.avg_ms, ping.min_ms,
+              ping.max_ms);
+  std::printf("  attacker touched %llu packets — none reached a host "
+              "corrupted (bad checksums at h2: %llu)\n",
+              static_cast<unsigned long long>(
+                  corrupt.attack_stats().packets_attacked),
+              static_cast<unsigned long long>(
+                  topo.h2().stats().rx_bad_checksum));
+
+  // 4. A short UDP burst for throughput flavour.
+  host::UdpSenderConfig udp_config;
+  udp_config.dst_mac = topo.h2().mac();
+  udp_config.dst_ip = topo.h2().ip();
+  udp_config.rate = DataRate::megabits_per_sec(150);
+  host::UdpSender sender(topo.h1(), udp_config);
+  host::UdpSink sink(topo.h2(), udp_config.dst_port);
+  sender.start();
+  topo.simulator().run_for(sim::Duration::milliseconds(500));
+  sender.stop();
+  topo.simulator().run_for(sim::Duration::milliseconds(50));
+  const auto report = sink.report();
+  std::printf("\nUDP 150 Mb/s for 0.5 s through the combiner:\n");
+  std::printf("  goodput %.1f Mb/s, loss %.2f%%, jitter %.3f ms, "
+              "duplicates removed: all\n",
+              report.goodput_mbps, report.loss_rate * 100, report.jitter_ms);
+
+  // 5. Compare-side accounting: what the trusted element saw.
+  std::printf("\ncompare element accounting:\n");
+  for (const auto* edge : topo.combiner().edges) {
+    const auto* stats = topo.combiner().compare->stats_for(edge->name());
+    if (stats == nullptr) continue;
+    std::printf(
+        "  %s: ingested=%llu released=%llu minority-evicted=%llu "
+        "same-port-dups=%llu\n",
+        edge->name().c_str(),
+        static_cast<unsigned long long>(stats->ingested),
+        static_cast<unsigned long long>(stats->released),
+        static_cast<unsigned long long>(stats->evicted_timeout),
+        static_cast<unsigned long long>(stats->duplicates_same_port));
+  }
+  std::printf("\nDone. See bench/ for the full paper reproduction.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Assertion helpers used across the NetCo code base.
+//
+// NETCO_ASSERT is active in all build types (simulation correctness depends
+// on the invariants it checks, and the cost is negligible compared to the
+// event loop); NETCO_DASSERT compiles away in NDEBUG builds and is meant for
+// hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace netco::detail {
+
+/// Prints an assertion-failure diagnostic and aborts. Out-of-line so the
+/// macro expansion stays tiny.
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "NETCO_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace netco::detail
+
+#define NETCO_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::netco::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+  } while (false)
+
+#define NETCO_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::netco::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+  } while (false)
+
+#ifdef NDEBUG
+#define NETCO_DASSERT(expr) ((void)0)
+#else
+#define NETCO_DASSERT(expr) NETCO_ASSERT(expr)
+#endif

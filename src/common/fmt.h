@@ -1,0 +1,41 @@
+// Tiny "{}"-placeholder formatter (std::format is unavailable on GCC 12).
+//
+// Supports only the plain `{}` placeholder; anything needing width/precision
+// or hex uses snprintf at the call site. Arguments are rendered with
+// operator<< so any streamable type works.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace netco {
+namespace detail {
+
+inline void fmt_impl(std::ostringstream& out, std::string_view spec) {
+  out << spec;
+}
+
+template <typename First, typename... Rest>
+void fmt_impl(std::ostringstream& out, std::string_view spec,
+              const First& first, const Rest&... rest) {
+  const auto pos = spec.find("{}");
+  if (pos == std::string_view::npos) {
+    out << spec;
+    return;  // surplus arguments are ignored rather than UB
+  }
+  out << spec.substr(0, pos) << first;
+  fmt_impl(out, spec.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+/// Formats `spec`, substituting each `{}` with the next argument.
+template <typename... Args>
+std::string fmt(std::string_view spec, const Args&... args) {
+  std::ostringstream out;
+  detail::fmt_impl(out, spec, args...);
+  return out.str();
+}
+
+}  // namespace netco

@@ -1,0 +1,35 @@
+// Small non-cryptographic hashing utilities (FNV-1a 64-bit).
+//
+// Used for the compare's "hashed" mode and for hash-map keys over packet
+// bytes. Not collision-resistant against adversaries — the threat-model
+// implications of that are discussed in netco/compare.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace netco {
+
+/// FNV-1a offset basis / prime (64-bit variant).
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// Incrementally folds `data` into an FNV-1a state (start with kFnvOffset).
+constexpr std::uint64_t fnv1a(std::span<const std::byte> data,
+                              std::uint64_t state = kFnvOffset) noexcept {
+  for (std::byte b : data) {
+    state ^= static_cast<std::uint64_t>(b);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Mixes a 64-bit value into a hash state (for composite keys).
+constexpr std::uint64_t hash_mix(std::uint64_t state,
+                                 std::uint64_t value) noexcept {
+  state ^= value + 0x9E3779B97F4A7C15ULL + (state << 6) + (state >> 2);
+  return state;
+}
+
+}  // namespace netco

@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace netco {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step; used only for seeding so weak seeds still spread out.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  NETCO_DASSERT(bound > 0);
+  // Debiased modulo rejection; bound is tiny relative to 2^64 in practice.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+  NETCO_DASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(span));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double mean) noexcept {
+  NETCO_DASSERT(mean > 0.0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+}  // namespace netco

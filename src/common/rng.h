@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in a simulation flows from one seeded `Rng`
+// (xoshiro256** seeded through SplitMix64). Identical seeds produce
+// identical simulations on every platform, which is what makes the
+// property-based tests and the benchmark tables reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace netco {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Deliberately not `std::mt19937`: the standard distributions are not
+/// portable across library implementations, and we need bit-identical runs.
+class Rng {
+ public:
+  /// Seeds the generator; any 64-bit value (including 0) is acceptable.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless method, debiased.
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Bernoulli trial that succeeds with probability `p` in [0, 1].
+  bool chance(double p) noexcept;
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace netco

@@ -1,0 +1,51 @@
+// Strongly-typed integer identifiers.
+//
+// The simulator hands out many kinds of small integer ids (nodes, ports,
+// flows, tunnels...). Wrapping them in distinct types makes it impossible to
+// pass a PortId where a NodeId is expected, at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace netco {
+
+/// CRTP-free strong id: `using NodeId = StrongId<struct NodeIdTag>;`
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  /// Default-constructed ids are invalid().
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  /// Sentinel used for "no id assigned yet".
+  static constexpr StrongId invalid() noexcept {
+    return StrongId(static_cast<Rep>(-1));
+  }
+
+  /// Underlying integer value.
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  /// True unless this is the invalid() sentinel.
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != static_cast<Rep>(-1);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  Rep value_ = static_cast<Rep>(-1);
+};
+
+}  // namespace netco
+
+/// Hash support so strong ids can key unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<netco::StrongId<Tag, Rep>> {
+  std::size_t operator()(netco::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,54 @@
+// Units used throughout the simulator: data rates and sizes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace netco {
+
+/// A link or application data rate in bits per second.
+///
+/// Stored as a plain 64-bit count wrapped in a strong type; arithmetic that
+/// mixes rates with sizes and times lives next to the time type in sim/.
+class DataRate {
+ public:
+  constexpr DataRate() noexcept = default;
+
+  /// Named constructors; prefer these over the raw-value constructor.
+  static constexpr DataRate bits_per_sec(std::uint64_t bps) noexcept {
+    return DataRate(bps);
+  }
+  static constexpr DataRate kilobits_per_sec(std::uint64_t kbps) noexcept {
+    return DataRate(kbps * 1000);
+  }
+  static constexpr DataRate megabits_per_sec(std::uint64_t mbps) noexcept {
+    return DataRate(mbps * 1000 * 1000);
+  }
+  static constexpr DataRate gigabits_per_sec(std::uint64_t gbps) noexcept {
+    return DataRate(gbps * 1000ULL * 1000 * 1000);
+  }
+
+  /// Raw bits per second.
+  [[nodiscard]] constexpr std::uint64_t bps() const noexcept { return bps_; }
+  /// Rate expressed in megabits per second (floating point, for reporting).
+  [[nodiscard]] constexpr double mbps() const noexcept {
+    return static_cast<double>(bps_) / 1e6;
+  }
+  /// True for a non-zero rate.
+  [[nodiscard]] constexpr bool positive() const noexcept { return bps_ > 0; }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) noexcept = default;
+
+ private:
+  constexpr explicit DataRate(std::uint64_t bps) noexcept : bps_(bps) {}
+  std::uint64_t bps_ = 0;
+};
+
+/// Common Ethernet size constants (bytes).
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kEthernetFcsBytes = 4;
+inline constexpr std::size_t kEthernetMtu = 1500;
+inline constexpr std::size_t kMaxFrameBytes =
+    kEthernetHeaderBytes + 4 /*VLAN*/ + kEthernetMtu + kEthernetFcsBytes;
+
+}  // namespace netco

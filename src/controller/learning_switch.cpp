@@ -1,0 +1,50 @@
+#include "controller/learning_switch.h"
+
+#include <utility>
+
+#include "net/headers.h"
+
+namespace netco::controller {
+
+void LearningSwitchApp::on_packet_in(Controller& /*controller*/,
+                                     openflow::ControlChannel& channel,
+                                     openflow::PacketIn event) {
+  const auto parsed = net::parse_packet(event.packet);
+  if (!parsed) return;
+
+  MacTable& table = tables_[&channel];
+  if (!parsed->eth.src.is_multicast()) {
+    table[parsed->eth.src] = event.in_port;
+  }
+
+  const auto it = table.find(parsed->eth.dst);
+  if (it == table.end() || parsed->eth.dst.is_broadcast()) {
+    // Unknown destination: flood this packet, learn on the way back.
+    channel.packet_out(openflow::PacketOut{
+        .actions = {openflow::OutputAction::flood()},
+        .packet = std::move(event.packet),
+        .in_port = event.in_port});
+    return;
+  }
+
+  // Known destination: install a dl_dst flow and forward this packet.
+  openflow::FlowSpec spec;
+  spec.match.with_dl_dst(parsed->eth.dst);
+  spec.actions = {openflow::OutputAction::to(it->second)};
+  spec.priority = 10;
+  spec.idle_timeout = idle_timeout_;
+  channel.flow_mod(
+      openflow::FlowMod{openflow::FlowModCommand::kAdd, std::move(spec)});
+  channel.packet_out(openflow::PacketOut{
+      .actions = {openflow::OutputAction::to(it->second)},
+      .packet = std::move(event.packet),
+      .in_port = event.in_port});
+}
+
+std::size_t LearningSwitchApp::learned_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [channel, table] : tables_) n += table.size();
+  return n;
+}
+
+}  // namespace netco::controller

@@ -1,0 +1,36 @@
+// Classic MAC-learning L2 switch application.
+//
+// Learns (source MAC → ingress port) per datapath; installs a dl_dst exact
+// flow once the destination is known, floods otherwise. This is the app the
+// Mininet prototype runs on switches outside the combiner and is used by
+// tests as a realistic controller workload.
+#pragma once
+
+#include <unordered_map>
+
+#include "controller/controller.h"
+#include "net/address.h"
+
+namespace netco::controller {
+
+/// Per-controller MAC-learning logic (OF 1.0 reactive forwarding).
+class LearningSwitchApp : public App {
+ public:
+  /// `flow_idle_timeout` bounds stale entries (zero = permanent).
+  explicit LearningSwitchApp(
+      sim::Duration flow_idle_timeout = sim::Duration::seconds(60))
+      : idle_timeout_(flow_idle_timeout) {}
+
+  void on_packet_in(Controller& controller, openflow::ControlChannel& channel,
+                    openflow::PacketIn event) override;
+
+  /// Number of (datapath, MAC) bindings currently learned.
+  [[nodiscard]] std::size_t learned_count() const noexcept;
+
+ private:
+  using MacTable = std::unordered_map<net::MacAddress, device::PortIndex>;
+  sim::Duration idle_timeout_;
+  std::unordered_map<const openflow::ControlChannel*, MacTable> tables_;
+};
+
+}  // namespace netco::controller

@@ -1,0 +1,39 @@
+// Datapath: the capability surface an adversarial (or diagnostic)
+// interceptor gets over the device it compromised.
+//
+// Both OpenFlow switches and legacy routers implement it — the §II threat
+// model does not care what kind of box the backdoor sits in.
+#pragma once
+
+#include "device/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace netco::device {
+
+/// What a compromised datapath lets its payload do.
+class Datapath {
+ public:
+  virtual ~Datapath() = default;
+
+  /// Emits `packet` directly on `port`, bypassing the forwarding logic.
+  virtual void raw_output(PortIndex port, net::Packet packet) = 0;
+
+  /// The event loop (for behaviours that keep their own clocks/timers).
+  virtual sim::Simulator& datapath_simulator() = 0;
+};
+
+/// Hook invoked for every packet entering a datapath's pipeline.
+class DatapathInterceptor {
+ public:
+  virtual ~DatapathInterceptor() = default;
+
+  /// Inspect/mutate `packet` as it enters the pipeline. Return true to
+  /// swallow the packet (normal forwarding is skipped); the interceptor
+  /// may emit packets itself via Datapath::raw_output(). Return false to
+  /// let the (possibly modified) packet continue normally.
+  virtual bool intercept(Datapath& datapath, PortIndex in_port,
+                         net::Packet& packet) = 0;
+};
+
+}  // namespace netco::device

@@ -1,0 +1,28 @@
+#include "device/network.h"
+
+namespace netco::device {
+
+Connection Network::connect(Node& a, Node& b, link::LinkConfig config) {
+  auto link = std::make_unique<link::Link>(simulator_, config);
+  Connection conn;
+  conn.link = link.get();
+  conn.a_port = a.attach_channel(&link->forward());
+  conn.b_port = b.attach_channel(&link->reverse());
+  link->forward().bind_sink([&b, port = conn.b_port](net::Packet packet) {
+    b.handle_packet(port, std::move(packet));
+  });
+  link->reverse().bind_sink([&a, port = conn.a_port](net::Packet packet) {
+    a.handle_packet(port, std::move(packet));
+  });
+  links_.push_back(std::move(link));
+  return conn;
+}
+
+Node* Network::find(std::string_view name) const noexcept {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+}  // namespace netco::device

@@ -1,0 +1,30 @@
+#include "device/node.h"
+
+#include "common/assert.h"
+
+namespace netco::device {
+
+PortIndex Node::attach_channel(link::Channel* out) {
+  NETCO_ASSERT(out != nullptr);
+  out_.push_back(out);
+  return static_cast<PortIndex>(out_.size() - 1);
+}
+
+void Node::send(PortIndex port, net::Packet packet) {
+  NETCO_ASSERT_MSG(port < out_.size(), "send() on unknown port");
+  out_[port]->send(std::move(packet));
+}
+
+void Node::flood(PortIndex except, const net::Packet& packet) {
+  for (PortIndex p = 0; p < out_.size(); ++p) {
+    if (p == except) continue;
+    out_[p]->send(packet);
+  }
+}
+
+const link::Channel& Node::channel(PortIndex port) const {
+  NETCO_ASSERT(port < out_.size());
+  return *out_[port];
+}
+
+}  // namespace netco::device

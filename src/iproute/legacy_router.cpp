@@ -1,0 +1,103 @@
+#include "iproute/legacy_router.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "net/checksum.h"
+
+namespace netco::iproute {
+
+void LegacyRouter::raw_output(device::PortIndex port, net::Packet packet) {
+  if (port >= port_count()) return;
+  send(port, std::move(packet));
+}
+
+void LegacyRouter::handle_packet(device::PortIndex in_port,
+                                 net::Packet packet) {
+  simulator().schedule_after(delay_, [this, in_port,
+                                      p = std::move(packet)]() mutable {
+    route(in_port, std::move(p));
+  });
+}
+
+void LegacyRouter::route(device::PortIndex in_port, net::Packet packet) {
+  if (interceptor_ != nullptr &&
+      interceptor_->intercept(*this, in_port, packet)) {
+    return;
+  }
+  const auto parsed = net::parse_packet(packet);
+  if (!parsed || !parsed->ipv4) {
+    ++stats_.non_ip_dropped;  // a legacy router routes IPv4 only
+    return;
+  }
+
+  // Addressed to one of our interfaces?
+  for (const auto& interface : interfaces_) {
+    if (parsed->ipv4->dst == interface.ip) {
+      ++stats_.for_self;
+      if (parsed->icmp && parsed->icmp->type == net::kIcmpEchoRequest) {
+        answer_echo(in_port, *parsed, packet);
+      }
+      return;
+    }
+  }
+
+  // TTL check (RFC 1812: decrement on forwarding; expire at <= 1).
+  if (parsed->ipv4->ttl <= 1) {
+    ++stats_.ttl_expired;
+    send_time_exceeded(in_port, *parsed);
+    return;
+  }
+
+  const auto hop = fib_.lookup(parsed->ipv4->dst);
+  if (!hop) {
+    ++stats_.no_route;
+    return;  // destination unreachable (ICMP type 3 not modelled)
+  }
+  NETCO_ASSERT(hop->port < interfaces_.size());
+
+  // Rewrite L2, decrement TTL, fix the header checksum.
+  net::set_dl_src(packet, interfaces_[hop->port].mac);
+  net::set_dl_dst(packet, hop->next_mac);
+  packet.set_u8(parsed->l3_offset + 8,
+                static_cast<std::uint8_t>(parsed->ipv4->ttl - 1));
+  net::fix_checksums(packet);
+
+  ++stats_.forwarded;
+  send(hop->port, std::move(packet));
+}
+
+void LegacyRouter::send_time_exceeded(device::PortIndex in_port,
+                                      const net::ParsedPacket& parsed) {
+  if (in_port >= interfaces_.size()) return;
+  const auto& interface = interfaces_[in_port];
+  // ICMP time exceeded (type 11) back toward the sender. We reuse the echo
+  // wire layout (type/code/checksum/4 unused bytes) with an empty payload;
+  // the original-datagram quote is not modelled.
+  std::vector<std::byte> payload;
+  net::Packet msg = net::build_icmp_echo(
+      net::EthernetHeader{.dst = parsed.eth.src, .src = interface.mac},
+      std::nullopt,
+      net::Ipv4Header{.src = interface.ip, .dst = parsed.ipv4->src},
+      net::IcmpEchoHeader{.type = 11, .id = 0, .seq = 0}, payload);
+  send(in_port, std::move(msg));
+}
+
+void LegacyRouter::answer_echo(device::PortIndex in_port,
+                               const net::ParsedPacket& parsed,
+                               const net::Packet& packet) {
+  const auto& interface = interfaces_[in_port];
+  const std::size_t payload_len = packet.size() - parsed.payload_offset;
+  net::Packet reply = net::build_icmp_echo(
+      net::EthernetHeader{.dst = parsed.eth.src, .src = interface.mac},
+      std::nullopt,
+      net::Ipv4Header{.src = interface.ip, .dst = parsed.ipv4->src},
+      net::IcmpEchoHeader{.type = net::kIcmpEchoReply,
+                          .id = parsed.icmp->id,
+                          .seq = parsed.icmp->seq},
+      packet.slice(parsed.payload_offset, payload_len));
+  send(in_port, std::move(reply));
+}
+
+}  // namespace netco::iproute

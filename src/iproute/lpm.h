@@ -1,0 +1,64 @@
+// Longest-prefix-match IPv4 routing table.
+//
+// Classic sorted-prefix implementation: exact enough for simulated FIBs of
+// tens to thousands of routes (lookups scan prefix lengths from /32 down,
+// one hash probe per populated length).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.h"
+
+namespace netco::iproute {
+
+/// A prefix route: value attached to ip/len.
+template <typename Value>
+class LpmTable {
+ public:
+  /// Inserts (or replaces) a route for prefix/len. len in [0, 32].
+  void insert(net::Ipv4Address prefix, int len, Value value) {
+    const std::uint32_t key = prefix.value() & mask_of(len);
+    tables_[static_cast<std::size_t>(len)][key] = std::move(value);
+    populated_ |= (1ULL << static_cast<unsigned>(len));
+  }
+
+  /// Removes a route; returns true if one existed.
+  bool remove(net::Ipv4Address prefix, int len) {
+    auto& table = tables_[static_cast<std::size_t>(len)];
+    const bool erased = table.erase(prefix.value() & mask_of(len)) > 0;
+    if (table.empty())
+      populated_ &= ~(1ULL << static_cast<unsigned>(len));
+    return erased;
+  }
+
+  /// Longest-prefix lookup. nullopt if no route covers `ip`.
+  [[nodiscard]] std::optional<Value> lookup(net::Ipv4Address ip) const {
+    for (int len = 32; len >= 0; --len) {
+      if ((populated_ & (1ULL << static_cast<unsigned>(len))) == 0) continue;
+      const auto& table = tables_[static_cast<std::size_t>(len)];
+      const auto it = table.find(ip.value() & mask_of(len));
+      if (it != table.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  /// Total number of routes.
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& table : tables_) n += table.size();
+    return n;
+  }
+
+  /// Netmask for a prefix length.
+  static constexpr std::uint32_t mask_of(int len) noexcept {
+    return len == 0 ? 0u : ~0u << (32 - len);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Value> tables_[33];
+  std::uint64_t populated_ = 0;  ///< bit per populated prefix length
+};
+
+}  // namespace netco::iproute

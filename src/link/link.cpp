@@ -1,0 +1,55 @@
+#include "link/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace netco::link {
+
+void Channel::send(net::Packet packet) {
+  NETCO_ASSERT_MSG(sink_ != nullptr, "channel used before bind_sink()");
+  if (down_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  if (!busy_) {
+    busy_ = true;
+    start_transmission(std::move(packet));
+    return;
+  }
+  if (queued_bytes_ + packet.size() > config_.queue_bytes) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size();
+    return;
+  }
+  queued_bytes_ += packet.size();
+  stats_.max_queue_bytes =
+      std::max<std::uint64_t>(stats_.max_queue_bytes, queued_bytes_);
+  queue_.push_back(std::move(packet));
+}
+
+void Channel::start_transmission(net::Packet packet) {
+  const sim::Duration tx = sim::transmission_time(config_.rate, packet.size());
+  ++stats_.tx_packets;
+  stats_.tx_bytes += packet.size();
+  const sim::Duration arrival = tx + config_.propagation;
+  // Deliver after serialization + propagation...
+  simulator_.schedule_after(
+      arrival, [this, p = std::move(packet)]() mutable { sink_(std::move(p)); });
+  // ...and free the transmitter after serialization only.
+  simulator_.schedule_after(tx, [this] { on_transmit_done(); });
+}
+
+void Channel::on_transmit_done() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  net::Packet next = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= next.size();
+  start_transmission(std::move(next));
+}
+
+}  // namespace netco::link

@@ -1,0 +1,120 @@
+// Point-to-point full-duplex link with serialization delay, propagation
+// delay and a drop-tail byte-bounded transmit queue per direction.
+//
+// This is the ns-style link model: a packet handed to a port occupies the
+// transmitter for size*8/rate, then arrives at the peer after the
+// propagation delay. If the transmitter is busy, the packet waits in the
+// queue; if the queue is full, it is dropped (and counted).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace netco::link {
+
+/// Per-direction link parameters.
+///
+/// The default mirrors a Mininet veth pair: effectively unconstrained
+/// capacity (10 Gb/s) so that, as in the paper's testbed, the *CPU* models
+/// (host, compare, controller) are the binding resources, not the wires.
+struct LinkConfig {
+  DataRate rate = DataRate::gigabits_per_sec(10);
+  sim::Duration propagation = sim::Duration::microseconds(1);
+  /// Transmit queue capacity in bytes (drop-tail). ~100 full frames default.
+  std::size_t queue_bytes = 150'000;
+};
+
+/// Counters for one link direction.
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t dropped_down = 0;     ///< dropped while the link was down
+  std::uint64_t max_queue_bytes = 0;  ///< high-water mark
+};
+
+/// One direction of a link: a serializing transmitter + delivery callback.
+///
+/// Owned by Link; exposed so devices can inspect stats. The delivery sink is
+/// bound at wiring time by the device layer.
+class Channel {
+ public:
+  using DeliverFn = std::function<void(net::Packet)>;
+
+  Channel(sim::Simulator& simulator, LinkConfig config)
+      : simulator_(simulator), config_(config) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Binds the receive side. Must be called exactly once before traffic.
+  void bind_sink(DeliverFn sink) { sink_ = std::move(sink); }
+
+  /// Hands a packet to the transmitter (queues or drops as needed).
+  void send(net::Packet packet);
+
+  /// Failure injection: a downed channel silently discards everything
+  /// handed to it (packets already in flight still arrive — photons do
+  /// not return). Bring it back up with set_down(false).
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool is_down() const noexcept { return down_; }
+
+  /// Counters for this direction.
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Current queue occupancy in bytes (excludes the in-flight packet).
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
+
+  /// The configuration this channel runs with.
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  void start_transmission(net::Packet packet);
+  void on_transmit_done();
+
+  sim::Simulator& simulator_;
+  LinkConfig config_;
+  DeliverFn sink_;
+  std::deque<net::Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+  LinkStats stats_;
+};
+
+/// A full-duplex link: two independent Channels.
+class Link {
+ public:
+  Link(sim::Simulator& simulator, LinkConfig config)
+      : forward_(simulator, config), reverse_(simulator, config) {}
+
+  /// Takes both directions down/up (fiber cut semantics).
+  void set_down(bool down) noexcept {
+    forward_.set_down(down);
+    reverse_.set_down(down);
+  }
+
+  /// Direction A→B.
+  [[nodiscard]] Channel& forward() noexcept { return forward_; }
+  /// Direction B→A.
+  [[nodiscard]] Channel& reverse() noexcept { return reverse_; }
+
+  [[nodiscard]] const Channel& forward() const noexcept { return forward_; }
+  [[nodiscard]] const Channel& reverse() const noexcept { return reverse_; }
+
+ private:
+  Channel forward_;
+  Channel reverse_;
+};
+
+}  // namespace netco::link

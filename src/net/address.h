@@ -1,0 +1,115 @@
+// Link-layer and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace netco::net {
+
+/// 48-bit IEEE 802 MAC address. Value type, comparable, hashable.
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) noexcept
+      : octets_(octets) {}
+
+  /// Builds a locally-administered unicast address from a small integer id
+  /// (02:00:00:xx:xx:xx). Handy for deterministic topologies.
+  static constexpr MacAddress from_id(std::uint32_t id) noexcept {
+    return MacAddress({0x02, 0x00, 0x00,
+                       static_cast<std::uint8_t>((id >> 16) & 0xFF),
+                       static_cast<std::uint8_t>((id >> 8) & 0xFF),
+                       static_cast<std::uint8_t>(id & 0xFF)});
+  }
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() noexcept {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets()
+      const noexcept {
+    return octets_;
+  }
+
+  /// True for the all-ones broadcast address.
+  [[nodiscard]] constexpr bool is_broadcast() const noexcept {
+    for (auto o : octets_)
+      if (o != 0xFF) return false;
+    return true;
+  }
+
+  /// True when the group (multicast) bit is set.
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (octets_[0] & 0x01) != 0;
+  }
+
+  /// Packs the address into the low 48 bits of a u64 (for hashing/printing).
+  [[nodiscard]] constexpr std::uint64_t as_u64() const noexcept {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  /// Canonical "aa:bb:cc:dd:ee:ff" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// 32-bit IPv4 address. Value type, comparable, hashable.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+
+  /// Builds a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Deterministic host address 10.0.x.y from a small id.
+  static constexpr Ipv4Address from_id(std::uint32_t id) noexcept {
+    return from_octets(10, 0, static_cast<std::uint8_t>((id >> 8) & 0xFF),
+                       static_cast<std::uint8_t>(id & 0xFF));
+  }
+
+  /// Host-byte-order value.
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Dotted-quad rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept =
+      default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace netco::net
+
+template <>
+struct std::hash<netco::net::MacAddress> {
+  std::size_t operator()(const netco::net::MacAddress& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.as_u64());
+  }
+};
+
+template <>
+struct std::hash<netco::net::Ipv4Address> {
+  std::size_t operator()(netco::net::Ipv4Address ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,38 @@
+#include "net/checksum.h"
+
+namespace netco::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::byte> data,
+                                  std::uint32_t state) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    state += (static_cast<std::uint32_t>(data[i]) << 8) |
+             static_cast<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {  // odd trailing byte is padded with zero
+    state += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  return state;
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data,
+                                std::uint32_t initial) noexcept {
+  std::uint32_t sum = checksum_accumulate(data, initial);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                std::uint8_t proto,
+                                std::uint16_t l4_length) noexcept {
+  std::uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xFFFF;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xFFFF;
+  sum += proto;
+  sum += l4_length;
+  return sum;
+}
+
+}  // namespace netco::net

@@ -1,0 +1,27 @@
+// RFC 1071 Internet checksum and the IPv4/TCP/UDP/ICMP applications of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/address.h"
+
+namespace netco::net {
+
+/// One's-complement sum folded to 16 bits, then complemented (RFC 1071).
+/// `initial` lets callers chain pseudo-header words in first.
+std::uint16_t internet_checksum(std::span<const std::byte> data,
+                                std::uint32_t initial = 0) noexcept;
+
+/// Raw one's-complement accumulation without the final complement; use to
+/// build pseudo-header sums incrementally.
+std::uint32_t checksum_accumulate(std::span<const std::byte> data,
+                                  std::uint32_t state) noexcept;
+
+/// Sum of the TCP/UDP pseudo header (src, dst, proto, l4 length).
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                std::uint8_t proto,
+                                std::uint16_t l4_length) noexcept;
+
+}  // namespace netco::net

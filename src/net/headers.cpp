@@ -1,0 +1,391 @@
+#include "net/headers.h"
+
+#include <array>
+
+#include "common/assert.h"
+#include "net/checksum.h"
+
+namespace netco::net {
+namespace {
+
+constexpr std::size_t kEthBytes = 14;
+constexpr std::size_t kVlanBytes = 4;
+constexpr std::size_t kIpv4Bytes = 20;
+constexpr std::size_t kUdpBytes = 8;
+constexpr std::size_t kTcpBytes = 20;
+constexpr std::size_t kIcmpEchoBytes = 8;
+
+/// Writes the Ethernet (+ optional VLAN) header into a fresh packet and
+/// returns the L3 offset.
+std::size_t emit_l2(Packet& packet, const EthernetHeader& eth,
+                    const std::optional<VlanTag>& vlan) {
+  const std::size_t l2 = kEthBytes + (vlan ? kVlanBytes : 0);
+  packet.resize(l2);
+  packet.set_mac_at(0, eth.dst);
+  packet.set_mac_at(6, eth.src);
+  if (vlan) {
+    packet.set_u16be(12, static_cast<std::uint16_t>(EtherType::Vlan));
+    const std::uint16_t tci = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(vlan->pcp & 0x7) << 13) |
+        (vlan->vid & 0x0FFF));
+    packet.set_u16be(14, tci);
+    packet.set_u16be(16, eth.ethertype);
+  } else {
+    packet.set_u16be(12, eth.ethertype);
+  }
+  return l2;
+}
+
+/// Emits a 20-byte IPv4 header (checksum zeroed; fixed later).
+void emit_ipv4(Packet& packet, std::size_t off, const Ipv4Header& ip,
+               std::uint16_t total_length) {
+  packet.resize(off + kIpv4Bytes);
+  packet.set_u8(off + 0, 0x45);  // version 4, IHL 5
+  packet.set_u8(off + 1, ip.tos);
+  packet.set_u16be(off + 2, total_length);
+  packet.set_u16be(off + 4, ip.identification);
+  packet.set_u16be(off + 6, 0);  // flags/fragment offset: DF not modelled
+  packet.set_u8(off + 8, ip.ttl);
+  packet.set_u8(off + 9, static_cast<std::uint8_t>(ip.proto));
+  packet.set_u16be(off + 10, 0);  // checksum placeholder
+  packet.set_u32be(off + 12, ip.src.value());
+  packet.set_u32be(off + 16, ip.dst.value());
+}
+
+void write_ipv4_checksum(Packet& packet, std::size_t l3) {
+  packet.set_u16be(l3 + 10, 0);
+  const std::uint16_t sum = internet_checksum(packet.slice(l3, kIpv4Bytes));
+  packet.set_u16be(l3 + 10, sum);
+}
+
+/// Computes and writes the L4 checksum at `csum_off` given the pseudo header.
+void write_l4_checksum(Packet& packet, std::size_t l3, std::size_t l4,
+                       std::size_t csum_off, IpProto proto) {
+  const auto l4_len = static_cast<std::uint16_t>(packet.size() - l4);
+  packet.set_u16be(csum_off, 0);
+  const std::uint32_t pseudo = pseudo_header_sum(
+      Ipv4Address(packet.u32be(l3 + 12)), Ipv4Address(packet.u32be(l3 + 16)),
+      static_cast<std::uint8_t>(proto), l4_len);
+  std::uint16_t sum =
+      internet_checksum(packet.slice(l4, packet.size() - l4), pseudo);
+  if (proto == IpProto::Udp && sum == 0) sum = 0xFFFF;  // RFC 768
+  packet.set_u16be(csum_off, sum);
+}
+
+void write_icmp_checksum(Packet& packet, std::size_t l4) {
+  packet.set_u16be(l4 + 2, 0);
+  const std::uint16_t sum =
+      internet_checksum(packet.slice(l4, packet.size() - l4));
+  packet.set_u16be(l4 + 2, sum);
+}
+
+}  // namespace
+
+std::optional<ParsedPacket> parse_packet(const Packet& packet) {
+  if (packet.size() < kEthBytes) return std::nullopt;
+  ParsedPacket out;
+  out.eth.dst = packet.mac_at(0);
+  out.eth.src = packet.mac_at(6);
+  std::uint16_t ethertype = packet.u16be(12);
+  std::size_t off = kEthBytes;
+
+  if (ethertype == static_cast<std::uint16_t>(EtherType::Vlan)) {
+    if (packet.size() < kEthBytes + kVlanBytes) return std::nullopt;
+    const std::uint16_t tci = packet.u16be(14);
+    out.vlan = VlanTag{.vid = static_cast<std::uint16_t>(tci & 0x0FFF),
+                       .pcp = static_cast<std::uint8_t>(tci >> 13)};
+    ethertype = packet.u16be(16);
+    off = kEthBytes + kVlanBytes;
+  }
+  out.eth.ethertype = ethertype;
+  out.l3_offset = off;
+  out.payload_offset = off;
+
+  if (ethertype == static_cast<std::uint16_t>(EtherType::Arp)) {
+    // htype(2) ptype(2) hlen(1) plen(1) oper(2) sha(6) spa(4) tha(6) tpa(4)
+    if (packet.size() < off + 28) return std::nullopt;
+    if (packet.u16be(off) != 1 || packet.u16be(off + 2) != 0x0800)
+      return std::nullopt;
+    ArpHeader arp;
+    arp.oper = packet.u16be(off + 6);
+    arp.sender_mac = packet.mac_at(off + 8);
+    arp.sender_ip = Ipv4Address(packet.u32be(off + 14));
+    arp.target_mac = packet.mac_at(off + 18);
+    arp.target_ip = Ipv4Address(packet.u32be(off + 24));
+    out.arp = arp;
+    out.payload_offset = off + 28;
+    return out;
+  }
+
+  if (ethertype != static_cast<std::uint16_t>(EtherType::Ipv4)) return out;
+  if (packet.size() < off + kIpv4Bytes) return std::nullopt;
+  if ((packet.u8(off) >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (packet.u8(off) & 0x0F) * std::size_t{4};
+  if (ihl < kIpv4Bytes || packet.size() < off + ihl) return std::nullopt;
+
+  Ipv4Header ip;
+  ip.tos = packet.u8(off + 1);
+  ip.total_length = packet.u16be(off + 2);
+  ip.identification = packet.u16be(off + 4);
+  ip.ttl = packet.u8(off + 8);
+  ip.proto = static_cast<IpProto>(packet.u8(off + 9));
+  ip.src = Ipv4Address(packet.u32be(off + 12));
+  ip.dst = Ipv4Address(packet.u32be(off + 16));
+  out.ipv4 = ip;
+  out.l4_offset = off + ihl;
+  out.payload_offset = out.l4_offset;
+
+  const std::size_t l4 = out.l4_offset;
+  switch (ip.proto) {
+    case IpProto::Udp: {
+      if (packet.size() < l4 + kUdpBytes) return std::nullopt;
+      out.udp = UdpHeader{.src_port = packet.u16be(l4),
+                          .dst_port = packet.u16be(l4 + 2),
+                          .length = packet.u16be(l4 + 4)};
+      out.payload_offset = l4 + kUdpBytes;
+      break;
+    }
+    case IpProto::Tcp: {
+      if (packet.size() < l4 + kTcpBytes) return std::nullopt;
+      TcpHeader tcp;
+      tcp.src_port = packet.u16be(l4);
+      tcp.dst_port = packet.u16be(l4 + 2);
+      tcp.seq = packet.u32be(l4 + 4);
+      tcp.ack = packet.u32be(l4 + 8);
+      tcp.flags = packet.u8(l4 + 13);
+      tcp.window = packet.u16be(l4 + 14);
+      const std::size_t data_off = (packet.u8(l4 + 12) >> 4) * std::size_t{4};
+      if (data_off < kTcpBytes || packet.size() < l4 + data_off)
+        return std::nullopt;
+      // Walk the options for a SACK block (kind 5).
+      for (std::size_t o = l4 + kTcpBytes; o + 1 < l4 + data_off;) {
+        const std::uint8_t kind = packet.u8(o);
+        if (kind == 0) break;       // end of options
+        if (kind == 1) { ++o; continue; }  // NOP
+        const std::uint8_t len = packet.u8(o + 1);
+        if (len < 2 || o + len > l4 + data_off) break;  // malformed
+        if (kind == 5 && len >= 10) {
+          tcp.sack = {{packet.u32be(o + 2), packet.u32be(o + 6)}};
+        }
+        o += len;
+      }
+      out.tcp = tcp;
+      out.payload_offset = l4 + data_off;
+      break;
+    }
+    case IpProto::Icmp: {
+      if (packet.size() < l4 + kIcmpEchoBytes) return std::nullopt;
+      out.icmp = IcmpEchoHeader{.type = packet.u8(l4),
+                                .id = packet.u16be(l4 + 4),
+                                .seq = packet.u16be(l4 + 6)};
+      out.payload_offset = l4 + kIcmpEchoBytes;
+      break;
+    }
+    default:
+      break;  // unknown L4: payload starts right after IPv4
+  }
+  return out;
+}
+
+Packet build_ethernet(const EthernetHeader& eth,
+                      const std::optional<VlanTag>& vlan,
+                      std::span<const std::byte> payload) {
+  Packet packet;
+  emit_l2(packet, eth, vlan);
+  packet.append(payload);
+  return packet;
+}
+
+Packet build_udp(const EthernetHeader& eth, const std::optional<VlanTag>& vlan,
+                 Ipv4Header ip, UdpHeader udp,
+                 std::span<const std::byte> payload) {
+  ip.proto = IpProto::Udp;
+  Packet packet;
+  EthernetHeader eth2 = eth;
+  eth2.ethertype = static_cast<std::uint16_t>(EtherType::Ipv4);
+  const std::size_t l3 = emit_l2(packet, eth2, vlan);
+  const auto total =
+      static_cast<std::uint16_t>(kIpv4Bytes + kUdpBytes + payload.size());
+  emit_ipv4(packet, l3, ip, total);
+  const std::size_t l4 = l3 + kIpv4Bytes;
+  packet.resize(l4 + kUdpBytes);
+  packet.set_u16be(l4, udp.src_port);
+  packet.set_u16be(l4 + 2, udp.dst_port);
+  packet.set_u16be(l4 + 4,
+                   static_cast<std::uint16_t>(kUdpBytes + payload.size()));
+  packet.set_u16be(l4 + 6, 0);
+  packet.append(payload);
+  write_ipv4_checksum(packet, l3);
+  write_l4_checksum(packet, l3, l4, l4 + 6, IpProto::Udp);
+  return packet;
+}
+
+Packet build_tcp(const EthernetHeader& eth, const std::optional<VlanTag>& vlan,
+                 Ipv4Header ip, const TcpHeader& tcp,
+                 std::span<const std::byte> payload) {
+  ip.proto = IpProto::Tcp;
+  Packet packet;
+  EthernetHeader eth2 = eth;
+  eth2.ethertype = static_cast<std::uint16_t>(EtherType::Ipv4);
+  const std::size_t l3 = emit_l2(packet, eth2, vlan);
+  const std::size_t opt_bytes = tcp.sack ? 12 : 0;
+  const auto total = static_cast<std::uint16_t>(kIpv4Bytes + kTcpBytes +
+                                                opt_bytes + payload.size());
+  emit_ipv4(packet, l3, ip, total);
+  const std::size_t l4 = l3 + kIpv4Bytes;
+  packet.resize(l4 + kTcpBytes + opt_bytes);
+  packet.set_u16be(l4, tcp.src_port);
+  packet.set_u16be(l4 + 2, tcp.dst_port);
+  packet.set_u32be(l4 + 4, tcp.seq);
+  packet.set_u32be(l4 + 8, tcp.ack);
+  packet.set_u8(l4 + 12,
+                static_cast<std::uint8_t>(((kTcpBytes + opt_bytes) / 4) << 4));
+  packet.set_u8(l4 + 13, tcp.flags);
+  packet.set_u16be(l4 + 14, tcp.window);
+  packet.set_u16be(l4 + 16, 0);  // checksum placeholder
+  packet.set_u16be(l4 + 18, 0);  // urgent pointer
+  if (tcp.sack) {
+    packet.set_u8(l4 + 20, 1);   // NOP
+    packet.set_u8(l4 + 21, 1);   // NOP
+    packet.set_u8(l4 + 22, 5);   // kind: SACK
+    packet.set_u8(l4 + 23, 10);  // length
+    packet.set_u32be(l4 + 24, tcp.sack->first);
+    packet.set_u32be(l4 + 28, tcp.sack->second);
+  }
+  packet.append(payload);
+  write_ipv4_checksum(packet, l3);
+  write_l4_checksum(packet, l3, l4, l4 + 16, IpProto::Tcp);
+  return packet;
+}
+
+Packet build_arp(const ArpHeader& arp) {
+  Packet packet;
+  const EthernetHeader eth{
+      .dst = arp.oper == kArpRequest ? MacAddress::broadcast()
+                                     : arp.target_mac,
+      .src = arp.sender_mac,
+      .ethertype = static_cast<std::uint16_t>(EtherType::Arp)};
+  const std::size_t off = emit_l2(packet, eth, std::nullopt);
+  packet.resize(off + 28);
+  packet.set_u16be(off, 1);           // htype: Ethernet
+  packet.set_u16be(off + 2, 0x0800);  // ptype: IPv4
+  packet.set_u8(off + 4, 6);
+  packet.set_u8(off + 5, 4);
+  packet.set_u16be(off + 6, arp.oper);
+  packet.set_mac_at(off + 8, arp.sender_mac);
+  packet.set_u32be(off + 14, arp.sender_ip.value());
+  packet.set_mac_at(off + 18, arp.target_mac);
+  packet.set_u32be(off + 24, arp.target_ip.value());
+  return packet;
+}
+
+Packet build_icmp_echo(const EthernetHeader& eth,
+                       const std::optional<VlanTag>& vlan, Ipv4Header ip,
+                       const IcmpEchoHeader& icmp,
+                       std::span<const std::byte> payload) {
+  ip.proto = IpProto::Icmp;
+  Packet packet;
+  EthernetHeader eth2 = eth;
+  eth2.ethertype = static_cast<std::uint16_t>(EtherType::Ipv4);
+  const std::size_t l3 = emit_l2(packet, eth2, vlan);
+  const auto total =
+      static_cast<std::uint16_t>(kIpv4Bytes + kIcmpEchoBytes + payload.size());
+  emit_ipv4(packet, l3, ip, total);
+  const std::size_t l4 = l3 + kIpv4Bytes;
+  packet.resize(l4 + kIcmpEchoBytes);
+  packet.set_u8(l4, icmp.type);
+  packet.set_u8(l4 + 1, 0);      // code
+  packet.set_u16be(l4 + 2, 0);   // checksum placeholder
+  packet.set_u16be(l4 + 4, icmp.id);
+  packet.set_u16be(l4 + 6, icmp.seq);
+  packet.append(payload);
+  write_ipv4_checksum(packet, l3);
+  write_icmp_checksum(packet, l4);
+  return packet;
+}
+
+void set_dl_dst(Packet& packet, const MacAddress& mac) {
+  NETCO_ASSERT(packet.size() >= kEthBytes);
+  packet.set_mac_at(0, mac);
+}
+
+void set_dl_src(Packet& packet, const MacAddress& mac) {
+  NETCO_ASSERT(packet.size() >= kEthBytes);
+  packet.set_mac_at(6, mac);
+}
+
+void set_vlan(Packet& packet, std::uint16_t vid, std::uint8_t pcp) {
+  NETCO_ASSERT(packet.size() >= kEthBytes);
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(pcp & 0x7) << 13) | (vid & 0x0FFF));
+  if (packet.u16be(12) == static_cast<std::uint16_t>(EtherType::Vlan)) {
+    packet.set_u16be(14, tci);
+    return;
+  }
+  // Insert a fresh tag: TPID at 12, TCI at 14, original ethertype moves to 16.
+  const std::uint16_t inner = packet.u16be(12);
+  packet.insert_zeros(12, kVlanBytes);
+  packet.set_u16be(12, static_cast<std::uint16_t>(EtherType::Vlan));
+  packet.set_u16be(14, tci);
+  packet.set_u16be(16, inner);
+}
+
+void strip_vlan(Packet& packet) {
+  if (packet.size() < kEthBytes + kVlanBytes) return;
+  if (packet.u16be(12) != static_cast<std::uint16_t>(EtherType::Vlan)) return;
+  const std::uint16_t inner = packet.u16be(16);
+  packet.erase(12, kVlanBytes);
+  packet.set_u16be(12, inner);
+}
+
+void set_nw_dst(Packet& packet, Ipv4Address dst) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed || !parsed->ipv4) return;
+  packet.set_u32be(parsed->l3_offset + 16, dst.value());
+  fix_checksums(packet);
+}
+
+void corrupt_byte(Packet& packet, std::size_t offset) {
+  if (packet.empty()) return;
+  const std::size_t at = offset % packet.size();
+  packet.set_u8(at, static_cast<std::uint8_t>(packet.u8(at) ^ 0xFF));
+}
+
+void fix_checksums(Packet& packet) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed || !parsed->ipv4) return;
+  write_ipv4_checksum(packet, parsed->l3_offset);
+  if (parsed->udp) {
+    write_l4_checksum(packet, parsed->l3_offset, parsed->l4_offset,
+                      parsed->l4_offset + 6, IpProto::Udp);
+  } else if (parsed->tcp) {
+    write_l4_checksum(packet, parsed->l3_offset, parsed->l4_offset,
+                      parsed->l4_offset + 16, IpProto::Tcp);
+  } else if (parsed->icmp) {
+    write_icmp_checksum(packet, parsed->l4_offset);
+  }
+}
+
+bool checksums_valid(const Packet& packet) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed) return false;
+  if (!parsed->ipv4) return true;  // non-IP: nothing to verify
+  const std::size_t l3 = parsed->l3_offset;
+  if (internet_checksum(packet.slice(l3, kIpv4Bytes)) != 0) return false;
+
+  const std::size_t l4 = parsed->l4_offset;
+  const std::size_t l4_len = packet.size() - l4;
+  if (parsed->udp || parsed->tcp) {
+    const std::uint32_t pseudo = pseudo_header_sum(
+        parsed->ipv4->src, parsed->ipv4->dst,
+        static_cast<std::uint8_t>(parsed->ipv4->proto),
+        static_cast<std::uint16_t>(l4_len));
+    return internet_checksum(packet.slice(l4, l4_len), pseudo) == 0;
+  }
+  if (parsed->icmp) {
+    return internet_checksum(packet.slice(l4, l4_len)) == 0;
+  }
+  return true;
+}
+
+}  // namespace netco::net

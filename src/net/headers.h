@@ -1,0 +1,180 @@
+// Wire formats: Ethernet (+ 802.1Q), IPv4, UDP, TCP, ICMP.
+//
+// Builders produce fully checksummed wire packets; `parse_packet` produces a
+// ParsedPacket with typed header copies plus the byte offsets of each layer,
+// so both the OpenFlow match extraction and the adversarial mutators can
+// work on exact wire positions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/address.h"
+#include "net/packet.h"
+
+namespace netco::net {
+
+/// EtherType values used in this code base.
+enum class EtherType : std::uint16_t {
+  Ipv4 = 0x0800,
+  Arp = 0x0806,
+  Vlan = 0x8100,         // 802.1Q TPID
+  NetcoTunnel = 0x88B5,  // IEEE local-experimental; used by virtual NetCo
+};
+
+/// IPv4 protocol numbers used in this code base.
+enum class IpProto : std::uint8_t { Icmp = 1, Tcp = 6, Udp = 17 };
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+};
+
+/// ICMP types used in this code base.
+inline constexpr std::uint8_t kIcmpEchoReply = 0;
+inline constexpr std::uint8_t kIcmpEchoRequest = 8;
+
+/// ARP operations.
+inline constexpr std::uint16_t kArpRequest = 1;
+inline constexpr std::uint16_t kArpReply = 2;
+
+/// Ethernet II header (no VLAN tag; the tag is modelled separately).
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;  ///< EtherType of the *inner* payload
+};
+
+/// 802.1Q tag contents.
+struct VlanTag {
+  std::uint16_t vid = 0;  ///< 12-bit VLAN identifier
+  std::uint8_t pcp = 0;   ///< 3-bit priority code point
+};
+
+/// ARP payload (Ethernet/IPv4 flavour, RFC 826).
+struct ArpHeader {
+  std::uint16_t oper = kArpRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  ///< zero in requests
+  Ipv4Address target_ip;
+};
+
+/// IPv4 header fields a sender sets; lengths/checksum are computed.
+struct Ipv4Header {
+  Ipv4Address src;
+  Ipv4Address dst;
+  IpProto proto = IpProto::Udp;
+  std::uint8_t tos = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t identification = 0;
+  std::uint16_t total_length = 0;  ///< filled in by builder / parser
+};
+
+/// UDP header fields a sender sets.
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< filled in by builder / parser
+};
+
+/// TCP header fields. One optional SACK block (RFC 2018, single-block
+/// form) is supported; when present the header grows by 12 option bytes
+/// (kind 5, len 10, left edge, right edge, 2 NOP pads).
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> sack;
+};
+
+/// ICMP echo request/reply header fields.
+struct IcmpEchoHeader {
+  std::uint8_t type = kIcmpEchoRequest;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+};
+
+/// Result of parsing a wire packet: typed copies + layer byte offsets.
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<VlanTag> vlan;
+  std::size_t l3_offset = 0;  ///< first byte after Ethernet (+VLAN) header
+
+  std::optional<Ipv4Header> ipv4;
+  std::size_t l4_offset = 0;  ///< first byte after the IPv4 header
+
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::optional<IcmpEchoHeader> icmp;
+  std::optional<ArpHeader> arp;
+  std::size_t payload_offset = 0;  ///< first byte after the innermost header
+};
+
+/// Parses a wire packet. Returns nullopt for truncated/garbage frames.
+/// Checksums are *not* verified here (hosts verify; switches do not).
+std::optional<ParsedPacket> parse_packet(const Packet& packet);
+
+// --- builders ----------------------------------------------------------
+
+/// Raw Ethernet frame around an opaque payload.
+Packet build_ethernet(const EthernetHeader& eth,
+                      const std::optional<VlanTag>& vlan,
+                      std::span<const std::byte> payload);
+
+/// Ethernet + IPv4 + UDP datagram with correct lengths and checksums.
+Packet build_udp(const EthernetHeader& eth, const std::optional<VlanTag>& vlan,
+                 Ipv4Header ip, UdpHeader udp,
+                 std::span<const std::byte> payload);
+
+/// Ethernet + IPv4 + TCP segment with correct lengths and checksums.
+Packet build_tcp(const EthernetHeader& eth, const std::optional<VlanTag>& vlan,
+                 Ipv4Header ip, const TcpHeader& tcp,
+                 std::span<const std::byte> payload);
+
+/// Ethernet + ARP request/reply. Requests are L2-broadcast.
+Packet build_arp(const ArpHeader& arp);
+
+/// Ethernet + IPv4 + ICMP echo request/reply.
+Packet build_icmp_echo(const EthernetHeader& eth,
+                       const std::optional<VlanTag>& vlan, Ipv4Header ip,
+                       const IcmpEchoHeader& icmp,
+                       std::span<const std::byte> payload);
+
+// --- in-place mutators (used by actions and the adversary) --------------
+
+/// Rewrites the Ethernet destination MAC.
+void set_dl_dst(Packet& packet, const MacAddress& mac);
+
+/// Rewrites the Ethernet source MAC.
+void set_dl_src(Packet& packet, const MacAddress& mac);
+
+/// Sets the 802.1Q VLAN id, inserting a tag if the frame is untagged.
+void set_vlan(Packet& packet, std::uint16_t vid, std::uint8_t pcp = 0);
+
+/// Removes the 802.1Q tag if present.
+void strip_vlan(Packet& packet);
+
+/// Rewrites the IPv4 destination and fixes the header/L4 checksums.
+/// No-op if the packet is not IPv4.
+void set_nw_dst(Packet& packet, Ipv4Address dst);
+
+/// Flips one payload byte (adversarial corruption); no checksum fix, which
+/// is exactly what a buggy/malicious datapath would produce.
+void corrupt_byte(Packet& packet, std::size_t offset);
+
+/// Recomputes the IPv4 header checksum and the L4 checksum (if UDP/TCP/ICMP).
+void fix_checksums(Packet& packet);
+
+/// Verifies IPv4 header + L4 checksum. True also for non-IP packets.
+[[nodiscard]] bool checksums_valid(const Packet& packet);
+
+}  // namespace netco::net

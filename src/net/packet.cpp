@@ -1,0 +1,94 @@
+#include "net/packet.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace netco::net {
+
+std::span<const std::byte> Packet::slice(std::size_t offset,
+                                         std::size_t len) const {
+  NETCO_ASSERT(offset + len <= bytes_.size());
+  return std::span<const std::byte>(bytes_).subspan(offset, len);
+}
+
+std::uint8_t Packet::u8(std::size_t offset) const {
+  NETCO_ASSERT(offset < bytes_.size());
+  return static_cast<std::uint8_t>(bytes_[offset]);
+}
+
+std::uint16_t Packet::u16be(std::size_t offset) const {
+  NETCO_ASSERT(offset + 2 <= bytes_.size());
+  return static_cast<std::uint16_t>((u8(offset) << 8) | u8(offset + 1));
+}
+
+std::uint32_t Packet::u32be(std::size_t offset) const {
+  NETCO_ASSERT(offset + 4 <= bytes_.size());
+  return (std::uint32_t{u8(offset)} << 24) | (std::uint32_t{u8(offset + 1)} << 16) |
+         (std::uint32_t{u8(offset + 2)} << 8) | std::uint32_t{u8(offset + 3)};
+}
+
+void Packet::set_u8(std::size_t offset, std::uint8_t value) {
+  NETCO_ASSERT(offset < bytes_.size());
+  bytes_[offset] = static_cast<std::byte>(value);
+}
+
+void Packet::set_u16be(std::size_t offset, std::uint16_t value) {
+  set_u8(offset, static_cast<std::uint8_t>(value >> 8));
+  set_u8(offset + 1, static_cast<std::uint8_t>(value & 0xFF));
+}
+
+void Packet::set_u32be(std::size_t offset, std::uint32_t value) {
+  set_u8(offset, static_cast<std::uint8_t>(value >> 24));
+  set_u8(offset + 1, static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  set_u8(offset + 2, static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  set_u8(offset + 3, static_cast<std::uint8_t>(value & 0xFF));
+}
+
+MacAddress Packet::mac_at(std::size_t offset) const {
+  NETCO_ASSERT(offset + 6 <= bytes_.size());
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) octets[i] = u8(offset + i);
+  return MacAddress(octets);
+}
+
+void Packet::set_mac_at(std::size_t offset, const MacAddress& mac) {
+  NETCO_ASSERT(offset + 6 <= bytes_.size());
+  for (std::size_t i = 0; i < 6; ++i) set_u8(offset + i, mac.octets()[i]);
+}
+
+void Packet::append(std::span<const std::byte> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void Packet::insert_zeros(std::size_t offset, std::size_t count) {
+  NETCO_ASSERT(offset <= bytes_.size());
+  bytes_.insert(bytes_.begin() + static_cast<std::ptrdiff_t>(offset), count,
+                std::byte{0});
+}
+
+void Packet::erase(std::size_t offset, std::size_t count) {
+  NETCO_ASSERT(offset + count <= bytes_.size());
+  const auto first = bytes_.begin() + static_cast<std::ptrdiff_t>(offset);
+  bytes_.erase(first, first + static_cast<std::ptrdiff_t>(count));
+}
+
+std::uint64_t Packet::prefix_hash(std::size_t prefix_len) const noexcept {
+  const std::size_t n = std::min(prefix_len, bytes_.size());
+  return fnv1a(std::span<const std::byte>(bytes_).first(n));
+}
+
+std::string Packet::summary() const {
+  char buf[96];
+  if (bytes_.size() < 14) {
+    std::snprintf(buf, sizeof buf, "%zuB (runt)", bytes_.size());
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%zuB %s->%s type=%04x", bytes_.size(),
+                mac_at(6).to_string().c_str(), mac_at(0).to_string().c_str(),
+                u16be(12));
+  return buf;
+}
+
+}  // namespace netco::net

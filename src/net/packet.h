@@ -1,0 +1,94 @@
+// Packet: the unit of data exchanged by every simulated component.
+//
+// A Packet is a value type owning its wire bytes (network byte order,
+// starting at the Ethernet header, no preamble/FCS). The compare element's
+// "bit-by-bit" comparison from the paper is therefore literally
+// `a == b` over the byte buffers, i.e. memcmp semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "net/address.h"
+
+namespace netco::net {
+
+/// Owning, comparable, hashable byte buffer with big-endian accessors.
+class Packet {
+ public:
+  /// Empty packet (size 0). Rarely useful except as a placeholder.
+  Packet() = default;
+
+  /// Takes ownership of raw wire bytes.
+  explicit Packet(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+
+  /// A packet of `size` zero bytes.
+  static Packet zeroed(std::size_t size) {
+    return Packet(std::vector<std::byte>(size));
+  }
+
+  /// Number of wire bytes (Ethernet header through end of payload).
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+  /// True for a zero-length buffer.
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+
+  /// Read-only view of all wire bytes.
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Mutable view of all wire bytes.
+  [[nodiscard]] std::span<std::byte> bytes_mut() noexcept { return bytes_; }
+
+  /// Read-only view of a sub-range; bounds-checked by assertion.
+  [[nodiscard]] std::span<const std::byte> slice(std::size_t offset,
+                                                 std::size_t len) const;
+
+  // --- big-endian scalar accessors -------------------------------------
+  [[nodiscard]] std::uint8_t u8(std::size_t offset) const;
+  [[nodiscard]] std::uint16_t u16be(std::size_t offset) const;
+  [[nodiscard]] std::uint32_t u32be(std::size_t offset) const;
+  void set_u8(std::size_t offset, std::uint8_t value);
+  void set_u16be(std::size_t offset, std::uint16_t value);
+  void set_u32be(std::size_t offset, std::uint32_t value);
+
+  /// Reads/writes a 6-byte MAC address at `offset`.
+  [[nodiscard]] MacAddress mac_at(std::size_t offset) const;
+  void set_mac_at(std::size_t offset, const MacAddress& mac);
+
+  /// Appends raw bytes at the tail (used by builders).
+  void append(std::span<const std::byte> data);
+
+  /// Grows/shrinks to `size`, zero-filling new bytes.
+  void resize(std::size_t size) { bytes_.resize(size); }
+
+  /// Inserts `count` zero bytes at `offset` (used to push a VLAN tag in).
+  void insert_zeros(std::size_t offset, std::size_t count);
+
+  /// Removes `count` bytes at `offset` (used to strip a VLAN tag).
+  void erase(std::size_t offset, std::size_t count);
+
+  /// FNV-1a hash over all wire bytes (the compare's "hashed" mode key).
+  [[nodiscard]] std::uint64_t content_hash() const noexcept {
+    return fnv1a(bytes_);
+  }
+
+  /// FNV-1a hash over the first `prefix_len` bytes (header-only mode).
+  [[nodiscard]] std::uint64_t prefix_hash(std::size_t prefix_len) const noexcept;
+
+  /// Bitwise equality — the paper's memcmp() compare.
+  friend bool operator==(const Packet&, const Packet&) = default;
+
+  /// Short human-readable summary ("60B 02:..->02:.. type=0800").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace netco::net

@@ -1,0 +1,102 @@
+// CombinerBuilder: assembles a robust network combiner (Fig. 2) around a
+// router position in an existing Network.
+//
+// Given the router's n neighbors, the builder creates:
+//   * one trusted edge switch per neighbor (hub + compare feeder + MAC
+//     forwarding, all expressed as OF 1.0 rules — the paper's s1/s2);
+//   * k untrusted replica switches wired in a parallel circuit, each with
+//     a port toward every edge;
+//   * a compare process attached to all edges as an out-of-band
+//     controller (CompareService on a Controller with the chosen cost
+//     profile: c_program() for Central*, pox() for POX3);
+//   * anti-spoof screening on the replica-facing edge ports ("ensuring
+//     its ingress port number matches its MAC source address"): packets
+//     from a replica whose source MAC lives on this edge's own side are
+//     dropped.
+//
+// combine=false builds the paper's Dup* reduction: packets are split but
+// never combined — duplicates flow straight through to the destination.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "device/network.h"
+#include "link/link.h"
+#include "netco/compare_core.h"
+#include "netco/compare_service.h"
+#include "openflow/switch.h"
+
+namespace netco::core {
+
+/// One neighbor of the router position being wrapped.
+struct PortAttachment {
+  device::Node* neighbor = nullptr;       ///< existing node to splice to
+  link::LinkConfig link;                   ///< edge ↔ neighbor link
+  /// MACs of hosts reachable *via this neighbor* (this edge's own side).
+  std::vector<net::MacAddress> local_macs;
+};
+
+/// Combiner construction options.
+struct CombinerOptions {
+  int k = 3;  ///< number of redundant replicas
+  /// Compare element configuration (k is overridden with the value above).
+  CompareConfig compare;
+  /// Compare process personality: c_program() → Central*, pox() → POX*.
+  controller::CostProfile compare_profile =
+      controller::CostProfile::c_program();
+  /// Links between edges and replicas.
+  link::LinkConfig internal_link;
+  /// false → Dup reduction: split only, no compare, duplicates pass through.
+  bool combine = true;
+  /// Vendor personalities for the replicas (cycled if fewer than k) —
+  /// the diversity assumption made concrete.
+  std::vector<openflow::SwitchProfile> replica_profiles;
+  /// How long a flood-flagged replica port stays blocked (zero = forever).
+  sim::Duration block_duration = sim::Duration::zero();
+  /// Pipeline latency of the trusted edge switches (simple hardware).
+  sim::Duration edge_delay = sim::Duration::microseconds(5);
+};
+
+/// Handles to everything a built combiner consists of.
+struct CombinerInstance {
+  std::vector<openflow::OpenFlowSwitch*> edges;     ///< one per attachment
+  std::vector<openflow::OpenFlowSwitch*> replicas;  ///< k untrusted routers
+
+  /// Port of edges[i] toward its neighbor.
+  std::vector<device::PortIndex> edge_neighbor_port;
+  /// Port created on attachment i's neighbor, toward edges[i].
+  std::vector<device::PortIndex> neighbor_port;
+  /// Port of edges[i] toward replicas[j]: edge_replica_port[i][j].
+  std::vector<std::vector<device::PortIndex>> edge_replica_port;
+  /// Port of replicas[j] toward edges[i]: replica_edge_port[j][i].
+  std::vector<std::vector<device::PortIndex>> replica_edge_port;
+  /// The edge↔replica links: edge_replica_link[i][j] (failure injection).
+  std::vector<std::vector<link::Link*>> edge_replica_link;
+
+  /// The compare process (nullptr when combine == false).
+  std::unique_ptr<controller::Controller> compare_controller;
+  std::unique_ptr<CompareService> compare;
+
+  /// Installs "dl_dst=mac → toward attachment `idx`" into every replica —
+  /// the routing the original router would have done.
+  void install_replica_route(const net::MacAddress& mac, std::size_t idx);
+};
+
+/// Builds a combiner around a router position whose neighbors are
+/// `attachments`. `name_prefix` namespaces the created node names
+/// ("<prefix>-e0", "<prefix>-r1", ...). Replica routing must be installed
+/// afterwards (install_replica_route or custom rules).
+CombinerInstance build_combiner(device::Network& network,
+                                const CombinerOptions& options,
+                                const std::vector<PortAttachment>& attachments,
+                                const std::string& name_prefix);
+
+/// Default replica vendor personalities used when options don't override:
+/// three distinct "vendors" with slightly different pipeline latencies.
+std::vector<openflow::SwitchProfile> default_replica_profiles();
+
+}  // namespace netco::core

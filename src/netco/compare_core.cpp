@@ -1,0 +1,278 @@
+#include "netco/compare_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace netco::core {
+
+CompareCore::CompareCore(CompareConfig config) : config_(config) {
+  NETCO_ASSERT_MSG(config_.k >= 1 && config_.k <= 63,
+                   "k must fit the replica bitmask");
+  const auto n = static_cast<std::size_t>(config_.k);
+  singleton_count_.assign(n, 0);
+  arrival_ns_.assign(n, {});
+  garbage_ns_.assign(n, {});
+  missed_streak_.assign(n, 0);
+  flagged_block_.assign(n, false);
+  flagged_inactive_.assign(n, false);
+}
+
+std::uint64_t CompareCore::key_of(const net::Packet& packet) const {
+  switch (config_.mode) {
+    case CompareMode::kFullPacket:
+      return packet.content_hash();
+    case CompareMode::kHeaderOnly:
+      return packet.prefix_hash(config_.header_prefix);
+    case CompareMode::kHashed:
+      return packet.content_hash();
+  }
+  return packet.content_hash();
+}
+
+bool CompareCore::same_packet(const net::Packet& a,
+                              const net::Packet& b) const {
+  switch (config_.mode) {
+    case CompareMode::kFullPacket:
+      return a == b;  // the paper's memcmp()
+    case CompareMode::kHeaderOnly: {
+      const std::size_t n = config_.header_prefix;
+      const auto pa = a.bytes(), pb = b.bytes();
+      const std::size_t la = std::min(n, pa.size());
+      const std::size_t lb = std::min(n, pb.size());
+      return la == lb && std::equal(pa.begin(), pa.begin() + static_cast<std::ptrdiff_t>(la),
+                                    pb.begin());
+    }
+    case CompareMode::kHashed:
+      return true;  // key equality is trusted (cheap but collision-prone)
+  }
+  return false;
+}
+
+void CompareCore::flag_block(int replica) {
+  if (flagged_block_[static_cast<std::size_t>(replica)]) return;
+  flagged_block_[static_cast<std::size_t>(replica)] = true;
+  pending_advice_.block_replicas.push_back(replica);
+}
+
+void CompareCore::note_arrival(int replica, sim::TimePoint now) {
+  auto& window = arrival_ns_[static_cast<std::size_t>(replica)];
+  window.push_back(now.ns());
+  const std::int64_t horizon = now.ns() - config_.rate_window.ns();
+  while (!window.empty() && window.front() < horizon) window.pop_front();
+  if (window.size() > config_.rate_limit_packets) flag_block(replica);
+}
+
+void CompareCore::note_garbage(int replica, sim::TimePoint now) {
+  auto& window = garbage_ns_[static_cast<std::size_t>(replica)];
+  window.push_back(now.ns());
+  const std::int64_t horizon = now.ns() - config_.rate_window.ns();
+  while (!window.empty() && window.front() < horizon) window.pop_front();
+  if (window.size() > config_.garbage_limit_packets) flag_block(replica);
+}
+
+std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
+                                               sim::TimePoint now) {
+  NETCO_ASSERT(replica >= 0 && replica < config_.k);
+  ++stats_.ingested;
+  last_cleanup_work_ = 0;
+  note_arrival(replica, now);
+
+  // Find the entry for this packet. Hash collisions between *different*
+  // packets are resolved by probing a perturbed key — deterministic, so
+  // every copy of the same packet lands in the same slot.
+  std::uint64_t key = key_of(packet);
+  for (;;) {
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) break;
+    if (same_packet(it->second.exemplar, packet)) break;
+    key = hash_mix(key, 0xC01115104EULL);
+  }
+
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
+  auto it = cache_.find(key);
+
+  if (it == cache_.end()) {
+    // First copy of a (possibly fabricated) packet.
+    Entry entry;
+    entry.key = key;
+    entry.exemplar = std::move(packet);
+    entry.replica_mask = bit;
+    entry.contributions = 1;
+    entry.first_replica = replica;
+    entry.first_seen = now;
+    age_.push_back(key);
+    entry.age_it = std::prev(age_.end());
+
+    const bool release_now =
+        config_.policy == ReleasePolicy::kFirstCopy || config_.quorum() == 1;
+    entry.released = release_now;
+    std::optional<net::Packet> released;
+    if (release_now) {
+      ++stats_.released;
+      released = entry.exemplar;
+    }
+
+    cache_.emplace(key, std::move(entry));
+    stats_.cache_entries = cache_.size();
+    stats_.max_cache_entries =
+        std::max(stats_.max_cache_entries, stats_.cache_entries);
+
+    auto& count = singleton_count_[static_cast<std::size_t>(replica)];
+    ++count;
+    if (count > config_.per_replica_quota) quota_evict(replica, now);
+    if (cache_.size() > config_.cache_capacity) capacity_cleanup(now);
+    return released;
+  }
+
+  Entry& entry = it->second;
+  if (entry.replica_mask & bit) {
+    // Same replica, same packet again: §IV case 2 (DoS signature).
+    ++stats_.duplicates_same_port;
+    note_garbage(replica, now);
+    return std::nullopt;
+  }
+
+  if (entry.contributions == 1) {
+    // No longer a singleton: release the isolation-quota slot.
+    auto& count = singleton_count_[static_cast<std::size_t>(entry.first_replica)];
+    if (count > 0) --count;
+  }
+  entry.replica_mask |= bit;
+  ++entry.contributions;
+
+  if (entry.released) {
+    ++stats_.late_after_release;
+    if (entry.contributions == config_.k && !config_.retain_completed) {
+      finalize(entry);
+      erase_entry(key);
+    }
+    return std::nullopt;
+  }
+
+  if (config_.policy == ReleasePolicy::kMajority &&
+      entry.contributions >= config_.quorum()) {
+    entry.released = true;
+    ++stats_.released;
+    net::Packet released = entry.exemplar;
+    if (entry.contributions == config_.k && !config_.retain_completed) {
+      finalize(entry);
+      erase_entry(key);
+    }
+    return released;
+  }
+  return std::nullopt;
+}
+
+void CompareCore::finalize(Entry& entry) {
+  // Inactivity accounting runs only for packets the quorum vouched for:
+  // a replica missing from an agreed packet is suspect; replicas absent
+  // from a fabricated minority packet are not.
+  if (!entry.released) return;
+  for (int r = 0; r < config_.k; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (entry.replica_mask & (1ULL << static_cast<unsigned>(r))) {
+      missed_streak_[idx] = 0;
+      // The flag latches for the lifetime of the core: one alarm per
+      // replica per run is what an administrator needs (re-arming on every
+      // recovery floods the operator under oscillating overload).
+    } else if (++missed_streak_[idx] == config_.inactivity_threshold &&
+               !flagged_inactive_[idx]) {
+      flagged_inactive_[idx] = true;
+      pending_advice_.inactive_replicas.push_back(r);
+    }
+  }
+}
+
+void CompareCore::erase_entry(std::uint64_t key) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  Entry& entry = it->second;
+  if (entry.contributions == 1 && !entry.released) {
+    auto& count = singleton_count_[static_cast<std::size_t>(entry.first_replica)];
+    if (count > 0) --count;
+  }
+  age_.erase(entry.age_it);
+  cache_.erase(it);
+  stats_.cache_entries = cache_.size();
+}
+
+std::size_t CompareCore::sweep(sim::TimePoint now) {
+  std::size_t evicted = 0;
+  while (!age_.empty()) {
+    const std::uint64_t key = age_.front();
+    const auto it = cache_.find(key);
+    NETCO_ASSERT(it != cache_.end());
+    Entry& entry = it->second;
+    if (now - entry.first_seen < config_.hold_timeout) break;  // age order
+    if (entry.released) {
+      // Normal death of an agreed packet whose stragglers never came.
+      finalize(entry);
+      if (config_.policy == ReleasePolicy::kFirstCopy &&
+          entry.contributions < config_.k) {
+        ++stats_.mismatch_detected;  // detection mode: partner disagreed
+      }
+    } else {
+      ++stats_.evicted_timeout;  // §IV case 1: minority packet, never sent
+      if (entry.contributions == 1) {
+        // A singleton that nobody confirmed is attributable garbage.
+        note_garbage(entry.first_replica, now);
+      }
+    }
+    erase_entry(key);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void CompareCore::capacity_cleanup(sim::TimePoint now) {
+  ++stats_.cleanup_passes;
+  const auto target = static_cast<std::size_t>(
+      static_cast<double>(config_.cache_capacity) * config_.cleanup_low_water);
+  std::size_t work = 0;
+  while (cache_.size() > target && !age_.empty()) {
+    const std::uint64_t key = age_.front();
+    auto& entry = cache_.at(key);
+    if (entry.released) {
+      finalize(entry);
+    } else {
+      ++stats_.evicted_capacity;
+      if (entry.contributions == 1) {
+        // A singleton squeezed out under memory pressure is just as
+        // attributable as one that timed out — the garbage monitor must
+        // see flood traffic regardless of which eviction path fires.
+        note_garbage(entry.first_replica, now);
+      }
+    }
+    erase_entry(key);
+    ++work;
+  }
+  last_cleanup_work_ = work;
+}
+
+void CompareCore::quota_evict(int replica, sim::TimePoint now) {
+  // The paper's logically-isolated buffers: a replica flooding unique
+  // packets can only consume its own quota. Evict its oldest singleton.
+  for (auto age_it = age_.begin(); age_it != age_.end(); ++age_it) {
+    const auto it = cache_.find(*age_it);
+    NETCO_ASSERT(it != cache_.end());
+    const Entry& entry = it->second;
+    if (!entry.released && entry.contributions == 1 &&
+        entry.first_replica == replica) {
+      ++stats_.evicted_quota;
+      note_garbage(replica, now);
+      erase_entry(*age_it);
+      return;
+    }
+  }
+}
+
+CompareAdvice CompareCore::take_advice() {
+  CompareAdvice out = std::move(pending_advice_);
+  pending_advice_ = CompareAdvice{};
+  return out;
+}
+
+}  // namespace netco::core

@@ -1,0 +1,197 @@
+// CompareCore: the trusted *compare* element of the robust network
+// combiner — the heart of NetCo (§III–IV of the paper).
+//
+// The compare receives, from each of k redundant untrusted routers, the
+// packets those routers forwarded, and releases exactly one copy of a
+// packet once a strict majority (> floor(k/2)) of routers delivered it.
+// Packets that never reach a majority (fabricated, rerouted-in, modified,
+// or flooded by a malicious minority) are held for a bounded time and then
+// evicted without ever being released.
+//
+// This class is pure logic: no I/O, no event loop. Deployment wrappers
+// (CompareService for the out-of-band "C program"/POX variants, the
+// virtualized inband variant) feed it (replica, packet, now) triples.
+//
+// Paper behaviours implemented here:
+//  * bit-by-bit comparison (memcmp) — or header-only / hashed modes;
+//  * majority release, exactly once; late copies of a released packet are
+//    ignored; the entry dies once all k replicas reported (or timed out);
+//  * case 1 (§IV): a packet seen on one ingress only is buffered, timed
+//    out, and deleted — never forwarded;
+//  * case 2 (§IV): repeated copies on one ingress are flagged; a per-port
+//    rate monitor produces "block this port" advice (DoS containment);
+//  * case 3 (§IV): consecutive releases missing a given ingress raise an
+//    unavailability alarm for the network administrator;
+//  * bounded waiting time (hold_timeout) so the compare itself cannot be
+//    memory-DoSed, plus per-replica buffer quotas ("logically isolated
+//    buffers") and a global capacity with a cleanup procedure whose cost
+//    the caller can model (the jitter mechanism of §V-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace netco::core {
+
+/// How two packets are compared for identity.
+enum class CompareMode : std::uint8_t {
+  kFullPacket,  ///< bit-by-bit memcmp over the whole frame (paper default)
+  kHeaderOnly,  ///< first header_prefix bytes only (L2–L4 headers)
+  kHashed,      ///< 64-bit content hash only (cheapest; collision-trusting)
+};
+
+/// When a packet is released.
+enum class ReleasePolicy : std::uint8_t {
+  kMajority,   ///< prevention: strict majority of k (k ≥ 3)
+  kFirstCopy,  ///< detection only: release the first copy immediately and
+               ///< alarm on disagreement/timeout (k = 2 suffices)
+};
+
+/// Compare element configuration.
+struct CompareConfig {
+  int k = 3;  ///< number of redundant routers (replicas)
+  CompareMode mode = CompareMode::kFullPacket;
+  ReleasePolicy policy = ReleasePolicy::kMajority;
+  /// Bytes compared in kHeaderOnly mode (Ethernet+VLAN+IPv4+L4 ≈ 58).
+  std::size_t header_prefix = 58;
+  /// Maximum time a packet waits for its majority before eviction. The
+  /// paper: "a function of the latencies of all the connected devices".
+  sim::Duration hold_timeout = sim::Duration::milliseconds(20);
+  /// Global cache capacity in entries; exceeding it triggers a cleanup
+  /// pass (oldest-first eviction down to the low-water mark).
+  std::size_t cache_capacity = 2048;
+  /// Cleanup evicts down to this fraction of capacity.
+  double cleanup_low_water = 0.9;
+  /// Per-replica quota of "singleton" entries (entries only that replica
+  /// has contributed to). Overflow evicts that replica's oldest singleton —
+  /// the paper's logically-isolated buffers.
+  std::size_t per_replica_quota = 512;
+  /// Port-flood detection, signal 1: more than this many packets from one
+  /// replica within rate_window flags the replica for blocking.
+  std::uint64_t rate_limit_packets = 50'000;
+  /// Port-flood detection, signal 2 (§IV case 2): more than this much
+  /// *garbage* from one replica within rate_window — same-port duplicates
+  /// plus singleton packets that died without ever reaching a quorum —
+  /// flags it for blocking. Garbage is the sharper signal: a saturated
+  /// compare CPU caps the arrival rate it can observe, but garbage is
+  /// attributable misbehaviour regardless of load.
+  std::uint64_t garbage_limit_packets = 1'000;
+  sim::Duration rate_window = sim::Duration::milliseconds(100);
+  /// Consecutive finalized packets missing a replica before the
+  /// unavailability alarm fires.
+  std::uint64_t inactivity_threshold = 50;
+  /// Paper-faithful retention: a released entry whose k copies all arrived
+  /// stays cached until the hold timeout or a capacity cleanup, like the
+  /// prototype's packet cache. false = eager erasure (lower memory; used
+  /// by deployments that prefer a tight cache).
+  bool retain_completed = true;
+
+  /// Strict majority for the configured k.
+  [[nodiscard]] int quorum() const noexcept { return k / 2 + 1; }
+};
+
+/// Counters.
+struct CompareStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t released = 0;
+  std::uint64_t late_after_release = 0;   ///< copies arriving post-release
+  std::uint64_t duplicates_same_port = 0; ///< same replica, same packet
+  std::uint64_t evicted_timeout = 0;      ///< minority entries timed out
+  std::uint64_t evicted_capacity = 0;     ///< cleanup-pass victims
+  std::uint64_t evicted_quota = 0;        ///< per-replica isolation victims
+  std::uint64_t cleanup_passes = 0;
+  std::uint64_t mismatch_detected = 0;    ///< kFirstCopy disagreements
+  std::size_t cache_entries = 0;          ///< current occupancy
+  std::size_t max_cache_entries = 0;
+};
+
+/// Events the deployment layer should act on.
+struct CompareAdvice {
+  /// Replicas the rate monitor wants blocked (port indices into [0,k)).
+  std::vector<int> block_replicas;
+  /// Replicas declared unavailable (inactivity alarm).
+  std::vector<int> inactive_replicas;
+};
+
+/// The pure compare logic.
+class CompareCore {
+ public:
+  explicit CompareCore(CompareConfig config);
+
+  /// Feeds one packet received from `replica` (0-based) at time `now`.
+  /// Returns the packet to release downstream, if this arrival completed a
+  /// quorum (or, under kFirstCopy, if it is the first copy).
+  std::optional<net::Packet> ingest(int replica, net::Packet packet,
+                                    sim::TimePoint now);
+
+  /// Evicts entries whose hold time expired. Call periodically (the
+  /// deployment wrappers do). Returns the number of entries evicted.
+  std::size_t sweep(sim::TimePoint now);
+
+  /// Entries the last ingest()/sweep() cleaned up in a capacity pass —
+  /// deployment layers convert this into modelled CPU stall time.
+  [[nodiscard]] std::size_t last_cleanup_work() const noexcept {
+    return last_cleanup_work_;
+  }
+
+  /// Pending advice (block/inactivity); cleared by the call.
+  CompareAdvice take_advice();
+
+  /// Counters.
+  [[nodiscard]] const CompareStats& stats() const noexcept { return stats_; }
+
+  /// The configuration in force.
+  [[nodiscard]] const CompareConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    net::Packet exemplar;         ///< first copy received
+    std::uint64_t replica_mask = 0;
+    int contributions = 0;
+    int first_replica = 0;  ///< quota accounting while a singleton
+    bool released = false;
+    sim::TimePoint first_seen;
+    /// Position in the age list for O(1) eviction.
+    std::list<std::uint64_t>::iterator age_it;
+  };
+
+  [[nodiscard]] std::uint64_t key_of(const net::Packet& packet) const;
+  [[nodiscard]] bool same_packet(const net::Packet& a,
+                                 const net::Packet& b) const;
+  void finalize(Entry& entry);  ///< inactivity bookkeeping on entry death
+  void erase_entry(std::uint64_t key);
+  void capacity_cleanup(sim::TimePoint now);
+  void quota_evict(int replica, sim::TimePoint now);
+  void note_arrival(int replica, sim::TimePoint now);
+  void note_garbage(int replica, sim::TimePoint now);
+  void flag_block(int replica);
+
+  CompareConfig config_;
+  CompareStats stats_;
+  std::size_t last_cleanup_work_ = 0;
+
+  // key → entry. Collisions across *different* packets with equal keys are
+  // resolved by same_packet() refusing to merge; the colliding packet is
+  // keyed by a salted rehash (open chaining via key perturbation).
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  std::list<std::uint64_t> age_;  ///< oldest-first keys
+
+  // Per-replica monitors.
+  std::vector<std::uint64_t> singleton_count_;
+  std::vector<std::deque<std::int64_t>> arrival_ns_;  ///< rate windows
+  std::vector<std::deque<std::int64_t>> garbage_ns_;  ///< garbage windows
+  std::vector<std::uint64_t> missed_streak_;
+  std::vector<bool> flagged_block_;
+  std::vector<bool> flagged_inactive_;
+  CompareAdvice pending_advice_;
+};
+
+}  // namespace netco::core

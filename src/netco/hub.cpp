@@ -1,0 +1,32 @@
+#include "netco/hub.h"
+
+#include <utility>
+
+namespace netco::core {
+
+void Hub::handle_packet(device::PortIndex in_port, net::Packet packet) {
+  simulator().schedule_after(delay_, [this, in_port,
+                                      p = std::move(packet)]() mutable {
+    if (in_port == 0) {
+      ++split_;
+      flood(0, p);  // copy to every non-upstream port
+    } else {
+      ++merged_;
+      send(0, std::move(p));
+    }
+  });
+}
+
+void install_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
+                       const std::vector<device::PortIndex>& to,
+                       std::uint16_t priority) {
+  openflow::FlowSpec spec;
+  spec.match.with_in_port(from);
+  for (device::PortIndex port : to) {
+    spec.actions.push_back(openflow::OutputAction::to(port));
+  }
+  spec.priority = priority;
+  sw.table().add(std::move(spec), sw.simulator().now());
+}
+
+}  // namespace netco::core

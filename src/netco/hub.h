@@ -1,0 +1,50 @@
+// Hub: the trusted splitter element of the robust combiner (§III).
+//
+// "The implementation of the hubs is simple and can be realized in the
+// datapath: the logic boils down to multiplying the packets, in a
+// stateless manner." — the paper's argument is that such a component is
+// simple enough to fabricate as trusted hardware. The class below is that
+// component as a standalone Node; deployments that realize the hub as flow
+// rules on a trusted OpenFlow edge switch use install_hub_rules() instead.
+#pragma once
+
+#include <cstdint>
+
+#include "device/node.h"
+#include "openflow/switch.h"
+#include "sim/time.h"
+
+namespace netco::core {
+
+/// A stateless 1-to-N packet multiplier.
+///
+/// Port 0 is the upstream side; every packet arriving there is copied to
+/// every other port. Packets arriving on any other port are forwarded to
+/// port 0 unchanged (so a Hub pair can also merge in the reverse
+/// direction). No table, no state — by construction.
+class Hub : public device::Node {
+ public:
+  Hub(sim::Simulator& simulator, std::string name,
+      sim::Duration processing_delay = sim::Duration::nanoseconds(500))
+      : Node(simulator, std::move(name)), delay_(processing_delay) {}
+
+  void handle_packet(device::PortIndex in_port, net::Packet packet) override;
+
+  /// Packets multiplied so far (upstream-direction arrivals).
+  [[nodiscard]] std::uint64_t split_count() const noexcept { return split_; }
+  /// Packets merged toward upstream so far.
+  [[nodiscard]] std::uint64_t merge_count() const noexcept { return merged_; }
+
+ private:
+  sim::Duration delay_;
+  std::uint64_t split_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+/// Realizes the hub as flow rules on a trusted OpenFlow switch: every
+/// packet entering on `from` is output on each port in `to`.
+void install_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
+                       const std::vector<device::PortIndex>& to,
+                       std::uint16_t priority = 30);
+
+}  // namespace netco::core

@@ -1,0 +1,69 @@
+#include "openflow/action.h"
+
+#include "common/assert.h"
+#include "common/fmt.h"
+#include "net/headers.h"
+
+namespace netco::openflow {
+
+void apply_header_action(const Action& action, net::Packet& packet) {
+  std::visit(
+      [&packet](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, OutputAction>) {
+          NETCO_ASSERT_MSG(false, "Output is not a header action");
+        } else if constexpr (std::is_same_v<T, SetDlSrcAction>) {
+          net::set_dl_src(packet, a.mac);
+        } else if constexpr (std::is_same_v<T, SetDlDstAction>) {
+          net::set_dl_dst(packet, a.mac);
+        } else if constexpr (std::is_same_v<T, SetVlanVidAction>) {
+          net::set_vlan(packet, a.vid);
+        } else if constexpr (std::is_same_v<T, StripVlanAction>) {
+          net::strip_vlan(packet);
+        } else if constexpr (std::is_same_v<T, SetNwDstAction>) {
+          net::set_nw_dst(packet, a.ip);
+        }
+      },
+      action);
+}
+
+bool is_output(const Action& action) noexcept {
+  return std::holds_alternative<OutputAction>(action);
+}
+
+std::string to_string(const ActionList& actions) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& action : actions) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::visit(
+        [](const auto& a) -> std::string {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, OutputAction>) {
+            switch (static_cast<VirtualPort>(a.port)) {
+              case VirtualPort::kFlood: return "output(FLOOD)";
+              case VirtualPort::kController: return "output(CONTROLLER)";
+              case VirtualPort::kInPort: return "output(IN_PORT)";
+              case VirtualPort::kTable: return "output(TABLE)";
+            }
+            return netco::fmt("output({})", a.port);
+          } else if constexpr (std::is_same_v<T, SetDlSrcAction>) {
+            return "set_dl_src(" + a.mac.to_string() + ")";
+          } else if constexpr (std::is_same_v<T, SetDlDstAction>) {
+            return "set_dl_dst(" + a.mac.to_string() + ")";
+          } else if constexpr (std::is_same_v<T, SetVlanVidAction>) {
+            return netco::fmt("set_vlan({})", a.vid);
+          } else if constexpr (std::is_same_v<T, StripVlanAction>) {
+            return "strip_vlan";
+          } else if constexpr (std::is_same_v<T, SetNwDstAction>) {
+            return "set_nw_dst(" + a.ip.to_string() + ")";
+          }
+        },
+        action);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace netco::openflow

@@ -1,0 +1,82 @@
+// OpenFlow 1.0 actions.
+//
+// An action list is applied in order; header-modify actions mutate the
+// in-flight packet, and each Output action emits a copy of the packet in
+// its *current* (possibly rewritten) state — faithful OF 1.0 semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "device/node.h"
+#include "net/address.h"
+#include "net/packet.h"
+
+namespace netco::openflow {
+
+/// Virtual output ports (OF 1.0 "pseudo ports").
+enum class VirtualPort : std::uint32_t {
+  kFlood = 0xFFFFFFFB,       ///< all ports except ingress
+  kController = 0xFFFFFFFD,  ///< punt to the controller (packet-in)
+  kInPort = 0xFFFFFFF8,      ///< send back out of the ingress port
+  kTable = 0xFFFFFFF9,       ///< re-inject into the flow table (packet-out)
+};
+
+/// Emit the packet on a physical or virtual port.
+struct OutputAction {
+  std::uint32_t port = 0;  ///< PortIndex or a VirtualPort value
+
+  static OutputAction to(device::PortIndex port) { return {port}; }
+  static OutputAction flood() {
+    return {static_cast<std::uint32_t>(VirtualPort::kFlood)};
+  }
+  static OutputAction controller() {
+    return {static_cast<std::uint32_t>(VirtualPort::kController)};
+  }
+  static OutputAction in_port() {
+    return {static_cast<std::uint32_t>(VirtualPort::kInPort)};
+  }
+  static OutputAction table() {
+    return {static_cast<std::uint32_t>(VirtualPort::kTable)};
+  }
+};
+
+/// OFPAT_SET_DL_SRC.
+struct SetDlSrcAction {
+  net::MacAddress mac;
+};
+/// OFPAT_SET_DL_DST.
+struct SetDlDstAction {
+  net::MacAddress mac;
+};
+/// OFPAT_SET_VLAN_VID (inserts a tag when the frame is untagged).
+struct SetVlanVidAction {
+  std::uint16_t vid = 0;
+};
+/// OFPAT_STRIP_VLAN.
+struct StripVlanAction {};
+/// OFPAT_SET_NW_DST (fixes checksums, as hardware would).
+struct SetNwDstAction {
+  net::Ipv4Address ip;
+};
+
+/// One OpenFlow action.
+using Action = std::variant<OutputAction, SetDlSrcAction, SetDlDstAction,
+                            SetVlanVidAction, StripVlanAction, SetNwDstAction>;
+
+/// An ordered action list. Empty list == drop (OF 1.0 semantics).
+using ActionList = std::vector<Action>;
+
+/// Applies a non-output action to `packet`; Output actions are handled by
+/// the datapath (they need port context) and must not be passed here.
+void apply_header_action(const Action& action, net::Packet& packet);
+
+/// True if `action` is an OutputAction.
+[[nodiscard]] bool is_output(const Action& action) noexcept;
+
+/// Debug rendering of an action list, e.g. "[set_vlan(7), output(2)]".
+[[nodiscard]] std::string to_string(const ActionList& actions);
+
+}  // namespace netco::openflow

@@ -1,0 +1,82 @@
+#include "openflow/channel.h"
+
+#include <utility>
+
+#include "openflow/switch.h"
+
+namespace netco::openflow {
+
+ControlChannel::ControlChannel(sim::Simulator& simulator, OpenFlowSwitch& sw,
+                               ControllerEndpoint& endpoint,
+                               sim::Duration one_way_latency,
+                               sim::Duration latency_jitter)
+    : simulator_(simulator),
+      switch_(sw),
+      endpoint_(endpoint),
+      latency_(one_way_latency),
+      latency_jitter_(latency_jitter) {
+  switch_.bind_control(this);
+}
+
+sim::Duration ControlChannel::jittered_latency() noexcept {
+  if (latency_jitter_ <= sim::Duration::zero()) return latency_;
+  return latency_ + sim::Duration::nanoseconds(static_cast<std::int64_t>(
+                        simulator_.rng().uniform(
+                            0.0, static_cast<double>(latency_jitter_.ns()))));
+}
+
+void ControlChannel::packet_in(PacketIn event) {
+  ++packet_ins_;
+  simulator_.schedule_after(jittered_latency(),
+                            [this, e = std::move(event)]() mutable {
+                              endpoint_.on_packet_in(*this, std::move(e));
+                            });
+}
+
+void ControlChannel::flow_mod(FlowMod mod) {
+  ++to_switch_;
+  simulator_.schedule_after(jittered_latency(), [this, m = std::move(mod)] {
+    switch_.receive_flow_mod(m);
+  });
+}
+
+void ControlChannel::packet_out(PacketOut out) {
+  ++to_switch_;
+  simulator_.schedule_after(jittered_latency(),
+                            [this, o = std::move(out)]() mutable {
+                              switch_.receive_packet_out(std::move(o));
+                            });
+}
+
+void ControlChannel::request_flow_stats(const Match& pattern,
+                                        FlowStatsCallback done) {
+  ++to_switch_;
+  simulator_.schedule_after(
+      jittered_latency(), [this, pattern, done = std::move(done)] {
+        // Snapshot on the switch, then the reply travels back.
+        std::vector<FlowStatsEntry> rows;
+        for (const auto& entry : switch_.table().entries()) {
+          if (!pattern.covers(entry.spec.match) &&
+              !pattern.strictly_equals(entry.spec.match) &&
+              pattern.present() != 0)
+            continue;
+          rows.push_back(FlowStatsEntry{.match = entry.spec.match,
+                                        .priority = entry.spec.priority,
+                                        .packet_count = entry.packet_count,
+                                        .byte_count = entry.byte_count});
+        }
+        simulator_.schedule_after(jittered_latency(),
+                                  [rows = std::move(rows),
+                                   done = std::move(done)]() mutable {
+                                    done(std::move(rows));
+                                  });
+      });
+}
+
+void ControlChannel::port_mod(PortMod mod) {
+  ++to_switch_;
+  simulator_.schedule_after(jittered_latency(),
+                            [this, mod] { switch_.receive_port_mod(mod); });
+}
+
+}  // namespace netco::openflow

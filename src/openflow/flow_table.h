@@ -1,0 +1,104 @@
+// OpenFlow 1.0 flow table: prioritized match-action rules with counters
+// and idle/hard timeouts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "openflow/action.h"
+#include "openflow/match.h"
+#include "sim/time.h"
+
+namespace netco::openflow {
+
+/// The caller-provided part of a flow entry (what a flow-mod carries).
+struct FlowSpec {
+  Match match;                ///< pattern (wildcards allowed)
+  ActionList actions;         ///< empty == drop
+  std::uint16_t priority = 0; ///< higher wins
+  sim::Duration idle_timeout = sim::Duration::zero();  ///< zero == none
+  sim::Duration hard_timeout = sim::Duration::zero();  ///< zero == none
+  std::uint64_t cookie = 0;   ///< opaque controller tag
+};
+
+/// An installed entry: spec + counters + timestamps.
+struct FlowEntry {
+  FlowSpec spec;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  sim::TimePoint installed_at;
+  sim::TimePoint last_used;  ///< for idle timeout
+
+  /// True once either timeout has elapsed at `now`.
+  [[nodiscard]] bool expired(sim::TimePoint now) const noexcept {
+    const auto& s = spec;
+    if (s.hard_timeout > sim::Duration::zero() &&
+        now - installed_at >= s.hard_timeout)
+      return true;
+    if (s.idle_timeout > sim::Duration::zero() &&
+        now - last_used >= s.idle_timeout)
+      return true;
+    return false;
+  }
+};
+
+/// Table-level counters.
+struct TableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t entries_expired = 0;
+};
+
+/// A single OF 1.0 flow table (the prototype uses table 0 only).
+class FlowTable {
+ public:
+  /// Installs `spec`; replaces an entry whose match strictly equals it at
+  /// the same priority (OFPFC_ADD overlap behaviour), otherwise appends.
+  void add(FlowSpec spec, sim::TimePoint now);
+
+  /// OFPFC_MODIFY: rewrites the actions of all entries covered by `match`
+  /// (non-strict). Returns the number of entries touched.
+  std::size_t modify_actions(const Match& match, const ActionList& actions);
+
+  /// OFPFC_DELETE (non-strict): removes all entries whose match is covered
+  /// by `pattern`. Returns the number removed.
+  std::size_t remove(const Match& pattern);
+
+  /// OFPFC_DELETE_STRICT: removes the entry with exactly this match and
+  /// priority, if present.
+  std::size_t remove_strict(const Match& match, std::uint16_t priority);
+
+  /// Highest-priority entry covering the exact key, updating counters and
+  /// the idle timestamp. Expired entries are evicted on the way.
+  /// Returns nullptr on table miss.
+  FlowEntry* lookup(const Match& key, std::size_t packet_bytes,
+                    sim::TimePoint now);
+
+  /// Read-only lookup without counter updates (monitoring/tests).
+  [[nodiscard]] const FlowEntry* peek(const Match& key,
+                                      sim::TimePoint now) const;
+
+  /// Evicts every entry expired at `now`. Returns the number evicted.
+  std::size_t expire(sim::TimePoint now);
+
+  /// All live entries (monitoring; order is priority-descending).
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Number of installed entries.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Lookup/hit/expiry counters.
+  [[nodiscard]] const TableStats& stats() const noexcept { return stats_; }
+
+ private:
+  // Sorted by priority descending; stable order within equal priorities
+  // (first-installed wins, which is deterministic and matches common
+  // switch behaviour for overlapping rules).
+  std::vector<FlowEntry> entries_;
+  TableStats stats_;
+};
+
+}  // namespace netco::openflow

@@ -1,0 +1,149 @@
+#include "openflow/match.h"
+
+#include <cstdio>
+
+#include "common/fmt.h"
+
+namespace netco::openflow {
+
+Match Match::exact_from(const net::ParsedPacket& parsed,
+                        device::PortIndex in_port) {
+  Match m;
+  m.with_in_port(in_port);
+  m.with_dl_src(parsed.eth.src);
+  m.with_dl_dst(parsed.eth.dst);
+  m.with_dl_type(static_cast<net::EtherType>(parsed.eth.ethertype));
+  if (parsed.vlan) {
+    m.with_dl_vlan(parsed.vlan->vid);
+    m.with_dl_vlan_pcp(parsed.vlan->pcp);
+  } else {
+    m.with_dl_vlan(kVlanNone);
+  }
+  if (parsed.ipv4) {
+    m.with_nw_src(parsed.ipv4->src);
+    m.with_nw_dst(parsed.ipv4->dst);
+    m.with_nw_proto(parsed.ipv4->proto);
+    m.with_nw_tos(parsed.ipv4->tos);
+    if (parsed.udp) {
+      m.with_tp_src(parsed.udp->src_port);
+      m.with_tp_dst(parsed.udp->dst_port);
+    } else if (parsed.tcp) {
+      m.with_tp_src(parsed.tcp->src_port);
+      m.with_tp_dst(parsed.tcp->dst_port);
+    }
+  }
+  return m;
+}
+
+Match& Match::with_in_port(device::PortIndex port) {
+  present_ |= kInPort;
+  in_port_ = port;
+  return *this;
+}
+Match& Match::with_dl_src(const net::MacAddress& mac) {
+  present_ |= kDlSrc;
+  dl_src_ = mac;
+  return *this;
+}
+Match& Match::with_dl_dst(const net::MacAddress& mac) {
+  present_ |= kDlDst;
+  dl_dst_ = mac;
+  return *this;
+}
+Match& Match::with_dl_vlan(std::uint16_t vid) {
+  present_ |= kDlVlan;
+  dl_vlan_ = vid;
+  return *this;
+}
+Match& Match::with_dl_vlan_pcp(std::uint8_t pcp) {
+  present_ |= kDlVlanPcp;
+  dl_vlan_pcp_ = pcp;
+  return *this;
+}
+Match& Match::with_dl_type(net::EtherType type) {
+  present_ |= kDlType;
+  dl_type_ = static_cast<std::uint16_t>(type);
+  return *this;
+}
+Match& Match::with_nw_src(net::Ipv4Address ip) {
+  present_ |= kNwSrc;
+  nw_src_ = ip;
+  return *this;
+}
+Match& Match::with_nw_dst(net::Ipv4Address ip) {
+  present_ |= kNwDst;
+  nw_dst_ = ip;
+  return *this;
+}
+Match& Match::with_nw_proto(net::IpProto proto) {
+  present_ |= kNwProto;
+  nw_proto_ = static_cast<std::uint8_t>(proto);
+  return *this;
+}
+Match& Match::with_nw_tos(std::uint8_t tos) {
+  present_ |= kNwTos;
+  nw_tos_ = tos;
+  return *this;
+}
+Match& Match::with_tp_src(std::uint16_t port) {
+  present_ |= kTpSrc;
+  tp_src_ = port;
+  return *this;
+}
+Match& Match::with_tp_dst(std::uint16_t port) {
+  present_ |= kTpDst;
+  tp_dst_ = port;
+  return *this;
+}
+
+bool Match::covers(const Match& key) const noexcept {
+  // Every field this pattern names must be present in the key with the
+  // same value.
+  if ((present_ & key.present_) != present_) return false;
+  if ((present_ & kInPort) && in_port_ != key.in_port_) return false;
+  if ((present_ & kDlSrc) && dl_src_ != key.dl_src_) return false;
+  if ((present_ & kDlDst) && dl_dst_ != key.dl_dst_) return false;
+  if ((present_ & kDlVlan) && dl_vlan_ != key.dl_vlan_) return false;
+  if ((present_ & kDlVlanPcp) && dl_vlan_pcp_ != key.dl_vlan_pcp_) return false;
+  if ((present_ & kDlType) && dl_type_ != key.dl_type_) return false;
+  if ((present_ & kNwSrc) && nw_src_ != key.nw_src_) return false;
+  if ((present_ & kNwDst) && nw_dst_ != key.nw_dst_) return false;
+  if ((present_ & kNwProto) && nw_proto_ != key.nw_proto_) return false;
+  if ((present_ & kNwTos) && nw_tos_ != key.nw_tos_) return false;
+  if ((present_ & kTpSrc) && tp_src_ != key.tp_src_) return false;
+  if ((present_ & kTpDst) && tp_dst_ != key.tp_dst_) return false;
+  return true;
+}
+
+bool Match::strictly_equals(const Match& other) const noexcept {
+  return present_ == other.present_ && covers(other);
+}
+
+std::string Match::to_string() const {
+  std::string out;
+  auto add = [&out](std::string piece) {
+    if (!out.empty()) out += ' ';
+    out += std::move(piece);
+  };
+  char buf[48];
+  if (present_ & kInPort) add(fmt("in_port={}", in_port_));
+  if (present_ & kDlSrc) add("dl_src=" + dl_src_.to_string());
+  if (present_ & kDlDst) add("dl_dst=" + dl_dst_.to_string());
+  if (present_ & kDlVlan) {
+    std::snprintf(buf, sizeof buf, "dl_vlan=0x%x", dl_vlan_);
+    add(buf);
+  }
+  if (present_ & kDlType) {
+    std::snprintf(buf, sizeof buf, "dl_type=0x%04x", dl_type_);
+    add(buf);
+  }
+  if (present_ & kNwSrc) add("nw_src=" + nw_src_.to_string());
+  if (present_ & kNwDst) add("nw_dst=" + nw_dst_.to_string());
+  if (present_ & kNwProto) add(fmt("nw_proto={}", unsigned{nw_proto_}));
+  if (present_ & kTpSrc) add(fmt("tp_src={}", tp_src_));
+  if (present_ & kTpDst) add(fmt("tp_dst={}", tp_dst_));
+  if (out.empty()) out = "(any)";
+  return out;
+}
+
+}  // namespace netco::openflow

@@ -1,0 +1,59 @@
+// OpenFlow 1.0 control messages (the subset the paper's prototype uses:
+// packet-in, packet-out, flow-mod, plus a port-mod used for the compare's
+// DoS block advice).
+#pragma once
+
+#include <cstdint>
+
+#include "device/node.h"
+#include "net/packet.h"
+#include "openflow/flow_table.h"
+
+namespace netco::openflow {
+
+/// Switch → controller: a packet that missed the flow table (or was
+/// explicitly punted via output(CONTROLLER)). Carries the full frame;
+/// buffer ids are not modelled.
+struct PacketIn {
+  device::PortIndex in_port = device::kNoPort;
+  net::Packet packet;
+};
+
+/// Controller → switch: emit `packet` through `actions`.
+/// `in_port` provides the ingress context for FLOOD/IN_PORT resolution.
+struct PacketOut {
+  ActionList actions;
+  net::Packet packet;
+  device::PortIndex in_port = device::kNoPort;
+};
+
+/// Flow-mod commands (OFPFC_*).
+enum class FlowModCommand : std::uint8_t {
+  kAdd,
+  kModify,        ///< rewrite actions of all covered entries
+  kDelete,        ///< non-strict delete
+  kDeleteStrict,  ///< exact match + priority
+};
+
+/// Controller → switch: mutate the flow table.
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  FlowSpec spec;
+};
+
+/// Switch → controller: one flow entry's counters (OFPST_FLOW reply row).
+struct FlowStatsEntry {
+  Match match;
+  std::uint16_t priority = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// Controller → switch: administratively block/unblock a port
+/// (OFPPC_PORT_DOWN in spirit). Blocked ports neither receive nor transmit.
+struct PortMod {
+  device::PortIndex port = device::kNoPort;
+  bool blocked = false;
+};
+
+}  // namespace netco::openflow

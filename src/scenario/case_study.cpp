@@ -1,0 +1,127 @@
+#include "scenario/case_study.h"
+
+#include <memory>
+#include <vector>
+
+#include "adversary/behaviors.h"
+#include "host/ping.h"
+#include "topo/fattree.h"
+
+namespace netco::scenario {
+namespace {
+
+constexpr int kArity = 4;  // k=4 fat-tree: 2 edges + 2 aggs per pod
+
+/// Builds the §VI attack: mirror fw1-bound traffic coming up from vm1's
+/// edge to an off-path core, and drop everything addressed to vm1.
+std::unique_ptr<adversary::CompositeBehavior> make_attack(
+    const net::MacAddress& fw1, const net::MacAddress& vm1,
+    device::PortIndex port_from_edge0, device::PortIndex port_to_core1,
+    const adversary::MirrorBehavior** mirror_out) {
+  std::vector<std::unique_ptr<device::DatapathInterceptor>> chain;
+  auto mirror = std::make_unique<adversary::MirrorBehavior>(
+      adversary::from_port(port_from_edge0, adversary::match_dl_dst(fw1)),
+      port_to_core1);
+  *mirror_out = mirror.get();
+  chain.push_back(std::move(mirror));
+  chain.push_back(std::make_unique<adversary::DropBehavior>(
+      adversary::match_dl_dst(vm1)));
+  return std::make_unique<adversary::CompositeBehavior>(std::move(chain));
+}
+
+}  // namespace
+
+const char* to_string(CaseStudyMode mode) noexcept {
+  switch (mode) {
+    case CaseStudyMode::kBaseline:  return "baseline";
+    case CaseStudyMode::kAttacked:  return "attacked";
+    case CaseStudyMode::kProtected: return "netco-protected";
+  }
+  return "?";
+}
+
+CaseStudyResult run_case_study(CaseStudyMode mode, int cycles,
+                               std::uint64_t seed) {
+  topo::FatTreeOptions options;
+  options.k = kArity;
+  options.seed = seed;
+  if (mode == CaseStudyMode::kProtected) {
+    options.combine_agg = topo::AggPosition{.pod = 0, .index = 0};
+    options.combiner.k = 3;
+  }
+  topo::FatTreeTopology topo(options);
+
+  host::Host& vm1 = topo.host(0, 0, 0);
+  host::Host& fw1 = topo.host(0, 1, 0);
+  const device::PortIndex port_from_edge0 = topo.agg_port_to_edge(0);
+  const device::PortIndex port_to_core1 = topo.agg_port_to_core(1);
+
+  // Install the malicious datapath.
+  const adversary::MirrorBehavior* mirror = nullptr;
+  std::unique_ptr<adversary::CompositeBehavior> attack;
+  if (mode == CaseStudyMode::kAttacked) {
+    attack = make_attack(fw1.mac(), vm1.mac(), port_from_edge0, port_to_core1,
+                         &mirror);
+    topo.agg(0, 0)->set_interceptor(attack.get());
+  } else if (mode == CaseStudyMode::kProtected) {
+    attack = make_attack(fw1.mac(), vm1.mac(), port_from_edge0, port_to_core1,
+                         &mirror);
+    topo.combiner().replicas[0]->set_interceptor(attack.get());
+  }
+
+  // Screening method 1: tcpdump-style tap on the mirror-target core.
+  std::uint64_t mirrored_at_core = 0;
+  topo.core(1).set_ingress_tap(
+      [&mirrored_at_core, fw1_mac = fw1.mac()](device::PortIndex,
+                                               const net::Packet& packet) {
+        if (packet.size() >= 6 && packet.mac_at(0) == fw1_mac)
+          ++mirrored_at_core;
+      });
+
+  // Run the ICMP echo cycles vm1 → fw1 (the tunnel-2 path of Fig. 1).
+  host::PingConfig ping_config;
+  ping_config.dst_mac = fw1.mac();
+  ping_config.dst_ip = fw1.ip();
+  ping_config.count = cycles;
+  ping_config.interval = sim::Duration::milliseconds(5);
+  ping_config.timeout = sim::Duration::milliseconds(200);
+  host::IcmpPinger pinger(vm1, ping_config);
+  pinger.start();
+
+  const auto deadline =
+      sim::TimePoint::origin() + sim::Duration::seconds(2);
+  while (!pinger.finished() && topo.simulator().now() < deadline) {
+    topo.simulator().run_until(topo.simulator().now() +
+                               sim::Duration::milliseconds(20));
+  }
+
+  CaseStudyResult result;
+  const auto report = pinger.report();
+  result.requests_sent = report.transmitted;
+  result.replies_received_at_vm1 = report.received;
+  result.requests_at_fw1 = fw1.stats().icmp_echo_requests;
+  result.mirrored_at_core = mirrored_at_core;
+  if (mirror != nullptr) {
+    result.attacker_packets_attacked = mirror->attack_stats().packets_attacked;
+  }
+
+  // Screening method 2: host-side MAC filters count stray arrivals.
+  for (const auto& node : topo.network().nodes()) {
+    if (const auto* host = dynamic_cast<const host::Host*>(node.get())) {
+      result.stray_at_hosts += host->stats().rx_stray;
+    }
+  }
+
+  if (mode == CaseStudyMode::kProtected) {
+    for (const auto* edge : topo.combiner().edges) {
+      const auto* stats = topo.combiner().compare->stats_for(edge->name());
+      if (stats == nullptr) continue;
+      result.compare_ingested += stats->ingested;
+      result.compare_released += stats->released;
+      result.compare_evicted_minority += stats->evicted_timeout;
+    }
+  }
+  return result;
+}
+
+}  // namespace netco::scenario

@@ -1,0 +1,92 @@
+// The six evaluation scenarios of §V-A, plus the measurement drivers that
+// reproduce the paper's iperf/ping methodology.
+//
+//   Linespeed — no combiner, single router (the performance ceiling);
+//   Central3  — full NetCo, k = 3, compare as a fast C process;
+//   Central5  — full NetCo, k = 5;
+//   POX3      — the compare as a POX (Python) controller app, k = 3;
+//   Dup3/Dup5 — split without combining (duplicates reach the host).
+//
+// Every measurement run builds a *fresh* topology (fresh seeds ⇒
+// independent runs, matching the paper's 10+10 iperf test runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/ping.h"
+#include "stats/summary.h"
+#include "topo/figure3.h"
+
+namespace netco::scenario {
+
+/// The evaluation scenarios (§V-A).
+enum class ScenarioKind : std::uint8_t {
+  kLinespeed,
+  kDup3,
+  kDup5,
+  kCentral3,
+  kCentral5,
+  kPox3,
+};
+
+/// Display name ("Linespeed", "Central3", ...).
+[[nodiscard]] const char* to_string(ScenarioKind kind) noexcept;
+
+/// The six scenarios in the paper's presentation order.
+[[nodiscard]] std::vector<ScenarioKind> all_scenarios();
+
+/// The five Table-I scenarios (everything except POX3).
+[[nodiscard]] std::vector<ScenarioKind> table1_scenarios();
+
+/// Builds the Fig. 3 options that realize `kind` (tuned defaults).
+[[nodiscard]] topo::Figure3Options make_options(ScenarioKind kind,
+                                                std::uint64_t seed);
+
+// --- measurement drivers (iperf/ping methodology) ------------------------
+
+/// One TCP bulk-transfer measurement set.
+struct TcpMeasurement {
+  stats::Summary mbps;                 ///< per-run goodput summary
+  std::vector<double> per_run_mbps;
+};
+
+/// Runs `runs` independent TCP transfers of `per_run` each (direction
+/// alternates per run, per the paper's 10+10 protocol) and reports the
+/// receiver-side goodput.
+TcpMeasurement measure_tcp(ScenarioKind kind, int runs, sim::Duration per_run,
+                           std::uint64_t seed = 1);
+
+/// One UDP run at a fixed offered rate.
+struct UdpRun {
+  double offered_mbps = 0.0;
+  double goodput_mbps = 0.0;
+  double loss_rate = 0.0;
+  double jitter_ms = 0.0;
+};
+
+/// Runs a single fresh UDP measurement (warmup excluded from the report).
+UdpRun measure_udp_at(ScenarioKind kind, DataRate rate, sim::Duration per_run,
+                      std::uint64_t seed = 1, std::size_t payload_bytes = 1470);
+
+/// Result of the iperf "-b until maximum" search (§V-A).
+struct UdpMax {
+  double rate_mbps = 0.0;     ///< highest offered rate within the loss bound
+  double goodput_mbps = 0.0;  ///< goodput measured at that rate
+  double loss_rate = 0.0;
+  double jitter_ms = 0.0;
+};
+
+/// Binary-searches the highest offered rate whose loss stays below
+/// `loss_bound` (paper: 0.5 %), then reports the run at that rate.
+UdpMax find_udp_max(ScenarioKind kind, double loss_bound,
+                    sim::Duration per_run, std::uint64_t seed = 1,
+                    std::size_t payload_bytes = 1470,
+                    double hi_mbps = 1000.0);
+
+/// Ping run (paper: sequences of 50 ICMP cycles).
+host::PingReport measure_ping(ScenarioKind kind, int count,
+                              sim::Duration interval, std::uint64_t seed = 1);
+
+}  // namespace netco::scenario

@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace netco::sim {
+
+void EventHandle::cancel() noexcept {
+  if (auto flag = cancelled_.lock()) *flag = true;
+}
+
+bool EventHandle::pending() const noexcept {
+  auto flag = cancelled_.lock();
+  return flag != nullptr && !*flag;
+}
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  NETCO_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+  NETCO_ASSERT(fn != nullptr);
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{cancelled};
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  NETCO_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step(TimePoint deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > deadline) return false;
+    // Move the event out before running: the callback may schedule more
+    // events and reallocate the underlying heap.
+    Event event = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    if (*event.cancelled) continue;  // tombstone
+    now_ = event.at;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step(TimePoint::from_ns(INT64_MAX))) {
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  NETCO_ASSERT(deadline >= now_);
+  stopped_ = false;
+  while (!stopped_ && step(deadline)) {
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace netco::sim

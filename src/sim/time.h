@@ -1,0 +1,131 @@
+// Simulation time.
+//
+// Simulated time is a signed 64-bit count of nanoseconds since the start of
+// the run. `Duration` and `TimePoint` are distinct strong types so that
+// "time + time" (meaningless) does not compile while "time + duration" does.
+// 2^63 ns is ~292 years, far beyond any run we perform.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace netco::sim {
+
+/// A signed span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration nanoseconds(std::int64_t ns) noexcept {
+    return Duration(ns);
+  }
+  static constexpr Duration microseconds(std::int64_t us) noexcept {
+    return Duration(us * 1000);
+  }
+  static constexpr Duration milliseconds(std::int64_t ms) noexcept {
+    return Duration(ms * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t s) noexcept {
+    return Duration(s * 1'000'000'000);
+  }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  static constexpr Duration seconds_f(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() noexcept { return Duration(0); }
+  /// A duration larger than any realistic simulation horizon.
+  static constexpr Duration infinite() noexcept {
+    return Duration(INT64_MAX / 4);
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double ms() const noexcept {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double sec() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  constexpr Duration operator+(Duration other) const noexcept {
+    return Duration(ns_ + other.ns_);
+  }
+  constexpr Duration operator-(Duration other) const noexcept {
+    return Duration(ns_ - other.ns_);
+  }
+  constexpr Duration operator*(std::int64_t k) const noexcept {
+    return Duration(ns_ * k);
+  }
+  constexpr Duration operator/(std::int64_t k) const noexcept {
+    return Duration(ns_ / k);
+  }
+  constexpr Duration& operator+=(Duration other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) noexcept {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr Duration operator-() const noexcept { return Duration(-ns_); }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant of simulated time (nanoseconds since run start).
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+
+  static constexpr TimePoint origin() noexcept { return TimePoint(); }
+  static constexpr TimePoint from_ns(std::int64_t ns) noexcept {
+    TimePoint t;
+    t.ns_ = ns;
+    return t;
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double sec() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  /// Duration since the run started.
+  [[nodiscard]] constexpr Duration since_origin() const noexcept {
+    return Duration::nanoseconds(ns_);
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) noexcept = default;
+
+  constexpr TimePoint operator+(Duration d) const noexcept {
+    return from_ns(ns_ + d.ns());
+  }
+  constexpr TimePoint operator-(Duration d) const noexcept {
+    return from_ns(ns_ - d.ns());
+  }
+  constexpr Duration operator-(TimePoint other) const noexcept {
+    return Duration::nanoseconds(ns_ - other.ns_);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Time needed to serialize `bytes` onto a link of rate `rate`.
+/// Rounds up so a positive payload never serializes in zero time.
+constexpr Duration transmission_time(DataRate rate, std::size_t bytes) noexcept {
+  NETCO_DASSERT(rate.positive());
+  const auto bits = static_cast<std::uint64_t>(bytes) * 8ULL;
+  const std::uint64_t ns =
+      (bits * 1'000'000'000ULL + rate.bps() - 1) / rate.bps();
+  return Duration::nanoseconds(static_cast<std::int64_t>(ns));
+}
+
+}  // namespace netco::sim

@@ -1,0 +1,46 @@
+// Descriptive statistics over a sample vector (bench reporting).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace netco::stats {
+
+/// Summary of a sample set.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes the summary; an empty input yields an all-zero Summary.
+inline Summary summarize(std::vector<double> samples) {
+  Summary out;
+  out.n = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  out.max = samples.back();
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - out.mean) * (s - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  const auto at = [&samples](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  return out;
+}
+
+}  // namespace netco::stats

@@ -1,0 +1,33 @@
+// Fixed-width console table printer used by the benchmark harness to
+// reproduce the paper's tables and figure series as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netco::stats {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells print empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double value, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netco::stats

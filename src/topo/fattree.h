@@ -1,0 +1,104 @@
+// Parametric k-ary fat-tree (Clos) datacenter topology — the environment
+// of the paper's Fig. 1 and the §VI case study.
+//
+// Standard k-ary fat-tree: k pods; each pod has k/2 edge and k/2
+// aggregation switches; (k/2)² core switches; each edge switch hosts k/2
+// hosts. Routing is static and destination-MAC based ("we set up the
+// Mininet network with routing based on MAC destination addresses", §VI),
+// deterministic: up-paths always use aggregation/core index 0 — no ECMP,
+// so the §VI attack position (pod 0, aggregation 0) is always on-path.
+//
+// Optionally one aggregation switch position is replaced by a NetCo
+// robust combiner (the §VI third scenario).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "device/network.h"
+#include "host/host.h"
+#include "netco/combiner.h"
+#include "openflow/switch.h"
+#include "sim/simulator.h"
+
+namespace netco::topo {
+
+/// Identifies an aggregation switch position.
+struct AggPosition {
+  int pod = 0;
+  int index = 0;
+};
+
+/// Fat-tree construction options.
+struct FatTreeOptions {
+  int k = 4;  ///< pods (even, >= 2); also the switch radix
+  link::LinkConfig link;
+  host::HostProfile host_profile;
+  std::uint64_t seed = 1;
+  /// If set, this aggregation position is built as a NetCo combiner
+  /// instead of a single untrusted switch.
+  std::optional<AggPosition> combine_agg;
+  /// Combiner parameters used when combine_agg is set.
+  core::CombinerOptions combiner;
+};
+
+/// An instantiated fat-tree.
+class FatTreeTopology {
+ public:
+  explicit FatTreeTopology(FatTreeOptions options);
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] device::Network& network() noexcept { return network_; }
+
+  /// Host at (pod, edge switch, host index), each in [0, k/2) except pod
+  /// in [0, k).
+  [[nodiscard]] host::Host& host(int pod, int edge, int index);
+
+  /// Edge switch `index` of `pod`.
+  [[nodiscard]] openflow::OpenFlowSwitch& edge(int pod, int index);
+
+  /// Aggregation switch at the position, or nullptr if it is the
+  /// combiner-wrapped one.
+  [[nodiscard]] openflow::OpenFlowSwitch* agg(int pod, int index);
+
+  /// Core switch `index` in [0, (k/2)²).
+  [[nodiscard]] openflow::OpenFlowSwitch& core(int index);
+
+  /// The combiner instance (valid when combine_agg was set).
+  [[nodiscard]] core::CombinerInstance& combiner() noexcept {
+    return combiner_;
+  }
+
+  /// Port of agg(pod,index) (or of each combiner replica) that leads to
+  /// `edge_index` / to core attachment `core_slot` (slot in [0, k/2)).
+  /// Valid for the wrapped position too (ports are identical on every
+  /// replica by construction).
+  [[nodiscard]] device::PortIndex agg_port_to_edge(int edge_index) const;
+  [[nodiscard]] device::PortIndex agg_port_to_core(int core_slot) const;
+
+  [[nodiscard]] const FatTreeOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void build();
+  void install_routes();
+
+  FatTreeOptions options_;
+  sim::Simulator simulator_;
+  device::Network network_;
+
+  // Indexed [pod][i] / [pod][edge][h].
+  std::vector<std::vector<openflow::OpenFlowSwitch*>> edges_;
+  std::vector<std::vector<openflow::OpenFlowSwitch*>> aggs_;  // null if wrapped
+  std::vector<openflow::OpenFlowSwitch*> cores_;
+  std::vector<std::vector<std::vector<host::Host*>>> hosts_;
+  core::CombinerInstance combiner_;
+
+  // Port bookkeeping (uniform by construction order):
+  // hosts occupy edge ports [0, k/2), aggs occupy edge ports [k/2, k).
+  // On an agg: edges occupy ports [0, k/2), cores [k/2, k).
+  // On a core: pod p's agg occupies port p.
+};
+
+}  // namespace netco::topo

@@ -1,0 +1,136 @@
+// ARP tests: wire format, host resolver behaviour, and resolution across
+// the NetCo combiner (broadcast who-has must survive the majority vote).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "device/network.h"
+#include "host/host.h"
+#include "net/headers.h"
+#include "scenario/scenarios.h"
+#include "topo/figure3.h"
+
+namespace netco::host {
+namespace {
+
+using device::Network;
+
+TEST(Arp, WireRoundTrip) {
+  const net::ArpHeader request{.oper = net::kArpRequest,
+                               .sender_mac = net::MacAddress::from_id(1),
+                               .sender_ip = net::Ipv4Address::from_id(1),
+                               .target_mac = net::MacAddress{},
+                               .target_ip = net::Ipv4Address::from_id(2)};
+  const auto packet = net::build_arp(request);
+  const auto parsed = net::parse_packet(packet);
+  ASSERT_TRUE(parsed && parsed->arp);
+  EXPECT_EQ(parsed->arp->oper, net::kArpRequest);
+  EXPECT_EQ(parsed->arp->sender_mac, net::MacAddress::from_id(1));
+  EXPECT_EQ(parsed->arp->target_ip, net::Ipv4Address::from_id(2));
+  EXPECT_TRUE(parsed->eth.dst.is_broadcast());  // requests broadcast
+}
+
+TEST(Arp, ReplyIsUnicast) {
+  const auto packet = net::build_arp(
+      net::ArpHeader{.oper = net::kArpReply,
+                     .sender_mac = net::MacAddress::from_id(2),
+                     .sender_ip = net::Ipv4Address::from_id(2),
+                     .target_mac = net::MacAddress::from_id(1),
+                     .target_ip = net::Ipv4Address::from_id(1)});
+  EXPECT_EQ(net::parse_packet(packet)->eth.dst, net::MacAddress::from_id(1));
+}
+
+struct ArpFixture {
+  sim::Simulator sim;
+  Network net{sim};
+  Host& a;
+  Host& b;
+  ArpFixture()
+      : a(net.add_node<Host>("a", net::MacAddress::from_id(1),
+                             net::Ipv4Address::from_id(1))),
+        b(net.add_node<Host>("b", net::MacAddress::from_id(2),
+                             net::Ipv4Address::from_id(2))) {
+    net.connect(a, b);
+  }
+};
+
+TEST(Arp, ResolvesDirectNeighbor) {
+  ArpFixture f;
+  std::optional<net::MacAddress> answer;
+  f.a.arp_resolve(f.b.ip(),
+                  [&](std::optional<net::MacAddress> mac) { answer = mac; });
+  f.sim.run();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, f.b.mac());
+  // Both caches learned (the responder gleans the asker).
+  EXPECT_EQ(f.a.arp_cache().at(f.b.ip()), f.b.mac());
+  EXPECT_EQ(f.b.arp_cache().at(f.a.ip()), f.a.mac());
+}
+
+TEST(Arp, SecondResolveHitsCacheImmediately) {
+  ArpFixture f;
+  f.a.arp_resolve(f.b.ip(), [](std::optional<net::MacAddress>) {});
+  f.sim.run();
+  bool answered_synchronously = false;
+  f.a.arp_resolve(f.b.ip(), [&](std::optional<net::MacAddress> mac) {
+    answered_synchronously = mac.has_value();
+  });
+  EXPECT_TRUE(answered_synchronously);
+}
+
+TEST(Arp, ConcurrentResolversShareOneProbe) {
+  ArpFixture f;
+  int answers = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.a.arp_resolve(f.b.ip(), [&](std::optional<net::MacAddress> mac) {
+      if (mac) ++answers;
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(answers, 5);
+  // One request on the wire (plus the reply): tx = 1 req; b tx = 1 reply.
+  EXPECT_EQ(f.a.stats().tx_packets, 1u);
+}
+
+TEST(Arp, UnresolvableTimesOutWithRetries) {
+  ArpFixture f;
+  std::optional<std::optional<net::MacAddress>> result;
+  f.a.arp_resolve(net::Ipv4Address::from_id(99),
+                  [&](std::optional<net::MacAddress> mac) { result = mac; });
+  f.sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(f.a.stats().tx_packets, 3u);  // three tries
+}
+
+TEST(Arp, ResolvesThroughCentral3Combiner) {
+  // The broadcast request is hubbed to all replicas, flooded by each,
+  // majority-voted at the far edge, and released once; the unicast reply
+  // comes back the same way.
+  topo::Figure3Topology topo(
+      scenario::make_options(scenario::ScenarioKind::kCentral3, 5));
+  std::optional<net::MacAddress> answer;
+  topo.h1().arp_resolve(topo.h2().ip(),
+                        [&](std::optional<net::MacAddress> mac) {
+                          answer = mac;
+                        });
+  topo.simulator().run_for(sim::Duration::milliseconds(100));
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, topo.h2().mac());
+}
+
+TEST(Arp, ResolvesThroughLinespeedPath) {
+  topo::Figure3Topology topo(
+      scenario::make_options(scenario::ScenarioKind::kLinespeed, 5));
+  std::optional<net::MacAddress> answer;
+  topo.h1().arp_resolve(topo.h2().ip(),
+                        [&](std::optional<net::MacAddress> mac) {
+                          answer = mac;
+                        });
+  topo.simulator().run_for(sim::Duration::milliseconds(100));
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, topo.h2().mac());
+}
+
+}  // namespace
+}  // namespace netco::host

@@ -1,0 +1,348 @@
+// Integration tests for the assembled combiner (hub + replicas + compare
+// service) on the Fig. 3 topology: every §II attack class is mounted on a
+// replica, and the end-to-end guarantees are asserted.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/behaviors.h"
+#include "host/ping.h"
+#include "host/udp_app.h"
+#include "netco/hub.h"
+#include "scenario/scenarios.h"
+#include "topo/figure3.h"
+
+namespace netco::core {
+namespace {
+
+/// A Fig. 3 Central3 topology with helpers to attack a replica.
+struct CombinerFixture {
+  topo::Figure3Topology topo;
+
+  explicit CombinerFixture(int k = 3, std::uint64_t seed = 1)
+      : topo(make_opts(k, seed)) {}
+
+  static topo::Figure3Options make_opts(int k, std::uint64_t seed) {
+    auto opts = scenario::make_options(k == 5
+                                           ? scenario::ScenarioKind::kCentral5
+                                           : scenario::ScenarioKind::kCentral3,
+                                       seed);
+    return opts;
+  }
+
+  host::PingReport ping(int count = 10) {
+    host::PingConfig config;
+    config.dst_mac = topo.h2().mac();
+    config.dst_ip = topo.h2().ip();
+    config.count = count;
+    config.interval = sim::Duration::milliseconds(2);
+    config.timeout = sim::Duration::milliseconds(200);
+    host::IcmpPinger pinger(topo.h1(), config);
+    pinger.start();
+    const auto deadline = topo.simulator().now() + sim::Duration::seconds(3);
+    while (!pinger.finished() && topo.simulator().now() < deadline) {
+      topo.simulator().run_for(sim::Duration::milliseconds(10));
+    }
+    return pinger.report();
+  }
+
+  std::uint64_t total_evicted() {
+    std::uint64_t evicted = 0;
+    for (const auto* edge : topo.combiner().edges) {
+      if (const auto* s = topo.combiner().compare->stats_for(edge->name()))
+        evicted += s->evicted_timeout + s->evicted_capacity + s->evicted_quota;
+    }
+    return evicted;
+  }
+};
+
+TEST(Combiner, StructureMatchesConfiguration) {
+  CombinerFixture f(3);
+  const auto& inst = f.topo.combiner();
+  EXPECT_EQ(inst.replicas.size(), 3u);
+  EXPECT_EQ(inst.edges.size(), 2u);
+  ASSERT_NE(inst.compare, nullptr);
+  ASSERT_NE(inst.compare_controller, nullptr);
+  // Each edge: 1 neighbor port + 3 replica ports.
+  EXPECT_EQ(inst.edges[0]->port_count(), 4u);
+  // Each replica: one port per edge.
+  EXPECT_EQ(inst.replicas[0]->port_count(), 2u);
+  // Distinct vendor personalities (the diversity assumption).
+  EXPECT_NE(inst.replicas[0]->profile().vendor,
+            inst.replicas[1]->profile().vendor);
+  EXPECT_NE(inst.replicas[1]->profile().vendor,
+            inst.replicas[2]->profile().vendor);
+}
+
+TEST(Combiner, BenignTrafficFlowsBothWays) {
+  CombinerFixture f;
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+  EXPECT_EQ(report.duplicates, 0);  // the compare removed every duplicate
+}
+
+// --- §II attack class 1: rerouting ------------------------------------------
+
+TEST(Combiner, RerouteAttackContainedAndServiceSurvives) {
+  CombinerFixture f;
+  // The malicious replica sends h2-bound packets back toward h1's edge.
+  adversary::RerouteBehavior reroute(
+      adversary::match_dl_dst(f.topo.h2().mac()),
+      f.topo.combiner().replica_edge_port[0][0]);
+  f.topo.combiner().replicas[0]->set_interceptor(&reroute);
+
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);  // two honest replicas out-vote it
+  EXPECT_GT(reroute.attack_stats().packets_attacked, 0u);
+  // The rerouted copies died inside the combiner, not at a host.
+  EXPECT_EQ(f.topo.h1().stats().rx_stray, 0u);
+  EXPECT_EQ(f.topo.h2().stats().rx_stray, 0u);
+}
+
+// --- §II attack class 2: mirroring -----------------------------------------
+
+TEST(Combiner, MirrorTowardOriginScreenedOut) {
+  // Exfiltration attempt toward the sender's own side: the trusted edge's
+  // "ingress port matches MAC source" screen eats the copy before it can
+  // even reach the compare.
+  CombinerFixture f;
+  adversary::MirrorBehavior mirror(
+      adversary::match_dl_dst(f.topo.h2().mac()),
+      f.topo.combiner().replica_edge_port[0][0]);  // back toward h1's edge
+  f.topo.combiner().replicas[0]->set_interceptor(&mirror);
+
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+  EXPECT_GT(mirror.attack_stats().packets_attacked, 0u);
+  // No mirrored copy reached either host.
+  EXPECT_EQ(f.topo.h1().stats().rx_stray, 0u);
+  EXPECT_EQ(report.duplicates, 0);
+}
+
+TEST(Combiner, MirrorAlongPathDetectedAsDuplicate) {
+  // Mirroring along the legitimate direction doubles the replica's copies;
+  // the compare counts them as same-port duplicates and never forwards a
+  // second copy downstream.
+  CombinerFixture f;
+  adversary::MirrorBehavior mirror(
+      adversary::match_dl_dst(f.topo.h2().mac()),
+      f.topo.combiner().replica_edge_port[0][1]);  // same direction as route
+  f.topo.combiner().replicas[0]->set_interceptor(&mirror);
+
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+  EXPECT_EQ(report.duplicates, 0);
+  std::uint64_t dups = 0;
+  for (const auto* edge : f.topo.combiner().edges) {
+    if (const auto* s = f.topo.combiner().compare->stats_for(edge->name()))
+      dups += s->duplicates_same_port;
+  }
+  EXPECT_GT(dups, 0u);
+}
+
+// --- §II attack class 3: packet modification --------------------------------
+
+TEST(Combiner, PayloadCorruptionFilteredOut) {
+  CombinerFixture f;
+  adversary::ModifyBehavior modify(adversary::match_all(),
+                                   adversary::ModifyBehavior::corrupt_payload());
+  f.topo.combiner().replicas[0]->set_interceptor(&modify);
+
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+  // Delivered payloads were the honest ones: the host checksum counter
+  // stays clean because corrupted copies never left the compare.
+  EXPECT_EQ(f.topo.h2().stats().rx_bad_checksum, 0u);
+}
+
+TEST(Combiner, VlanRetagFilteredOut) {
+  // The §II isolation-violation attack: retagging to hop VLAN domains.
+  CombinerFixture f;
+  adversary::ModifyBehavior modify(adversary::match_all(),
+                                   adversary::ModifyBehavior::retag_vlan(999));
+  f.topo.combiner().replicas[0]->set_interceptor(&modify);
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+}
+
+TEST(Combiner, MacRewriteSpoofBlockedByScreen) {
+  // The replica rewrites the source MAC to impersonate h2 toward h1's
+  // side; the edge's "ingress port matches MAC source" screen drops it.
+  CombinerFixture f;
+  adversary::ModifyBehavior modify(
+      adversary::match_dl_dst(f.topo.h2().mac()),
+      [mac = f.topo.h1().mac()](net::Packet& p) { net::set_dl_src(p, mac); });
+  f.topo.combiner().replicas[0]->set_interceptor(&modify);
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+  EXPECT_EQ(f.topo.h2().stats().rx_stray, 0u);
+}
+
+// --- §II attack class 3/4: dropping ----------------------------------------
+
+TEST(Combiner, SingleDropperCannotCensor) {
+  CombinerFixture f;
+  adversary::DropBehavior drop(adversary::match_all());
+  f.topo.combiner().replicas[0]->set_interceptor(&drop);
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);  // 2-of-3 still a majority
+}
+
+TEST(Combiner, TwoDroppersDefeatK3) {
+  // The flip side of the guarantee: a quorum of malicious replicas CAN
+  // censor — k=3 tolerates exactly one.
+  CombinerFixture f;
+  adversary::DropBehavior drop0(adversary::match_all());
+  adversary::DropBehavior drop1(adversary::match_all());
+  f.topo.combiner().replicas[0]->set_interceptor(&drop0);
+  f.topo.combiner().replicas[1]->set_interceptor(&drop1);
+  const auto report = f.ping(5);
+  EXPECT_EQ(report.received, 0);
+}
+
+TEST(Combiner, K5ToleratesTwoDroppers) {
+  CombinerFixture f(5);
+  adversary::DropBehavior drop0(adversary::match_all());
+  adversary::DropBehavior drop1(adversary::match_all());
+  f.topo.combiner().replicas[0]->set_interceptor(&drop0);
+  f.topo.combiner().replicas[1]->set_interceptor(&drop1);
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+}
+
+TEST(Combiner, K5TwoModifiersOutvoted) {
+  CombinerFixture f(5);
+  adversary::ModifyBehavior m0(adversary::match_all(),
+                               adversary::ModifyBehavior::corrupt_payload());
+  adversary::ModifyBehavior m1(adversary::match_all(),
+                               adversary::ModifyBehavior::corrupt_payload());
+  f.topo.combiner().replicas[0]->set_interceptor(&m0);
+  f.topo.combiner().replicas[1]->set_interceptor(&m1);
+  const auto report = f.ping(10);
+  EXPECT_EQ(report.received, 10);
+}
+
+// --- §II attack class 4: DoS flooding ---------------------------------------
+
+TEST(Combiner, FloodingReplicaGetsBlockedAndTrafficSurvives) {
+  CombinerFixture f;
+  // The malicious replica fabricates a high-rate stream toward h2's edge —
+  // enough to saturate the compare CPU outright.
+  adversary::DosFlooder::Config flood_config;
+  flood_config.out_port = f.topo.combiner().replica_edge_port[0][1];
+  flood_config.packets_per_sec = 200'000;
+  flood_config.packet_bytes = 200;
+  flood_config.dst_mac = f.topo.h2().mac();
+  flood_config.src_mac = f.topo.h1().mac();
+  adversary::DosFlooder flooder(*f.topo.combiner().replicas[0], flood_config);
+  flooder.start();
+
+  // Pings spaced widely enough to observe the recovery after the compare
+  // blocks the flooding port (expected within a few tens of ms).
+  host::PingConfig ping_config;
+  ping_config.dst_mac = f.topo.h2().mac();
+  ping_config.dst_ip = f.topo.h2().ip();
+  ping_config.count = 10;
+  ping_config.interval = sim::Duration::milliseconds(50);
+  ping_config.timeout = sim::Duration::milliseconds(500);
+  host::IcmpPinger pinger(f.topo.h1(), ping_config);
+  pinger.start();
+  while (!pinger.finished() &&
+         f.topo.simulator().now() < sim::TimePoint::origin() +
+                                        sim::Duration::seconds(5)) {
+    f.topo.simulator().run_for(sim::Duration::milliseconds(10));
+  }
+  const auto report = pinger.report();
+  flooder.stop();
+
+  EXPECT_GT(flooder.emitted(), 1000u);
+  // No fabricated packet ever reached h2 as data.
+  EXPECT_EQ(report.duplicates, 0);
+  // The compare's garbage monitor advised blocking the flooding replica.
+  bool blocked_alarm = false;
+  for (const auto& alarm : f.topo.combiner().compare->alarms()) {
+    if (alarm.kind == CompareAlarm::Kind::kPortBlocked && alarm.replica == 0)
+      blocked_alarm = true;
+  }
+  EXPECT_TRUE(blocked_alarm);
+  // Availability: once the port is blocked, echo cycles complete again.
+  EXPECT_GE(report.received, 7);
+}
+
+// --- failure injection (§IV case 3) ------------------------------------------
+
+TEST(Combiner, DeadReplicaLinkRaisesInactivityAlarmAndServiceSurvives) {
+  // Mid-run, replica 2 loses both of its links (fiber cut / power loss).
+  // Traffic continues on the 2-of-3 quorum and the compare eventually
+  // declares the replica unavailable — the paper's administrator alarm.
+  auto opts = CombinerFixture::make_opts(3, 1);
+  opts.combiner.compare.inactivity_threshold = 20;
+  topo::Figure3Topology topo(opts);
+
+  topo.simulator().schedule_after(sim::Duration::milliseconds(20), [&] {
+    for (const auto& links : topo.combiner().edge_replica_link) {
+      links[2]->set_down(true);
+    }
+  });
+
+  host::PingConfig config;
+  config.dst_mac = topo.h2().mac();
+  config.dst_ip = topo.h2().ip();
+  config.count = 60;
+  config.interval = sim::Duration::milliseconds(2);
+  config.timeout = sim::Duration::milliseconds(200);
+  host::IcmpPinger pinger(topo.h1(), config);
+  pinger.start();
+  while (!pinger.finished() && topo.simulator().now().sec() < 3.0) {
+    topo.simulator().run_for(sim::Duration::milliseconds(10));
+  }
+  topo.simulator().run_for(sim::Duration::milliseconds(200));
+
+  EXPECT_EQ(pinger.report().received, 60);  // availability held throughout
+  bool inactive_alarm = false;
+  for (const auto& alarm : topo.combiner().compare->alarms()) {
+    if (alarm.kind == CompareAlarm::Kind::kReplicaInactive &&
+        alarm.replica == 2)
+      inactive_alarm = true;
+  }
+  EXPECT_TRUE(inactive_alarm);
+}
+
+// --- trusted Hub node --------------------------------------------------------
+
+TEST(Hub, SplitsUpstreamToAllReplicaPorts) {
+  sim::Simulator sim;
+  device::Network net(sim);
+  struct Probe : device::Node {
+    using Node::Node;
+    void handle_packet(device::PortIndex, net::Packet p) override {
+      received.push_back(std::move(p));
+    }
+    std::vector<net::Packet> received;
+  };
+  auto& hub = net.add_node<Hub>("hub");
+  auto& up = net.add_node<Probe>("up");
+  auto& r1 = net.add_node<Probe>("r1");
+  auto& r2 = net.add_node<Probe>("r2");
+  auto& r3 = net.add_node<Probe>("r3");
+  net.connect(hub, up);  // port 0 = upstream
+  net.connect(hub, r1);
+  net.connect(hub, r2);
+  net.connect(hub, r3);
+
+  up.send(0, net::Packet::zeroed(100));
+  sim.run();
+  EXPECT_EQ(r1.received.size(), 1u);
+  EXPECT_EQ(r2.received.size(), 1u);
+  EXPECT_EQ(r3.received.size(), 1u);
+  EXPECT_EQ(up.received.size(), 0u);
+  EXPECT_EQ(hub.split_count(), 1u);
+
+  r2.send(0, net::Packet::zeroed(60));
+  sim.run();
+  EXPECT_EQ(up.received.size(), 1u);
+  EXPECT_EQ(hub.merge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace netco::core

@@ -1,0 +1,158 @@
+// Tests for the fat-tree topology and the §VI case study.
+#include <gtest/gtest.h>
+
+#include "host/ping.h"
+#include "scenario/case_study.h"
+#include "topo/fattree.h"
+
+namespace netco::topo {
+namespace {
+
+host::PingReport ping_between(FatTreeTopology& topo, host::Host& src,
+                              host::Host& dst, int count = 5) {
+  host::PingConfig config;
+  config.dst_mac = dst.mac();
+  config.dst_ip = dst.ip();
+  config.count = count;
+  config.interval = sim::Duration::milliseconds(2);
+  config.timeout = sim::Duration::milliseconds(200);
+  host::IcmpPinger pinger(src, config);
+  pinger.start();
+  const auto deadline = topo.simulator().now() + sim::Duration::seconds(3);
+  while (!pinger.finished() && topo.simulator().now() < deadline) {
+    topo.simulator().run_for(sim::Duration::milliseconds(10));
+  }
+  return pinger.report();
+}
+
+TEST(FatTree, StructureK4) {
+  FatTreeTopology topo(FatTreeOptions{});
+  // k=4: 4 pods × (2 edges + 2 aggs) + 4 cores + 16 hosts = 36 nodes.
+  EXPECT_EQ(topo.network().nodes().size(), 36u);
+  EXPECT_EQ(topo.edge(0, 0).port_count(), 4u);  // 2 hosts + 2 aggs
+  EXPECT_EQ(topo.agg(0, 0)->port_count(), 4u);  // 2 edges + 2 cores
+  EXPECT_EQ(topo.core(0).port_count(), 4u);     // one per pod
+}
+
+TEST(FatTree, SameEdgeHostsReachable) {
+  FatTreeTopology topo(FatTreeOptions{});
+  const auto report = ping_between(topo, topo.host(0, 0, 0), topo.host(0, 0, 1));
+  EXPECT_EQ(report.received, 5);
+}
+
+TEST(FatTree, IntraPodCrossEdgeReachable) {
+  FatTreeTopology topo(FatTreeOptions{});
+  const auto report = ping_between(topo, topo.host(0, 0, 0), topo.host(0, 1, 1));
+  EXPECT_EQ(report.received, 5);
+}
+
+TEST(FatTree, InterPodReachable) {
+  FatTreeTopology topo(FatTreeOptions{});
+  const auto report = ping_between(topo, topo.host(0, 0, 0), topo.host(3, 1, 1));
+  EXPECT_EQ(report.received, 5);
+}
+
+TEST(FatTree, AllPairsSample) {
+  // A small all-pairs sweep: every host can reach a representative of
+  // every distance class (same edge, cross edge, cross pod).
+  FatTreeTopology topo(FatTreeOptions{});
+  struct Pair {
+    int p1, e1, i1, p2, e2, i2;
+  };
+  const Pair pairs[] = {
+      {1, 0, 0, 1, 0, 1}, {1, 0, 0, 1, 1, 0}, {2, 1, 1, 3, 0, 0},
+      {3, 1, 0, 0, 0, 1}, {2, 0, 1, 2, 1, 1},
+  };
+  for (const auto& pair : pairs) {
+    const auto report = ping_between(topo, topo.host(pair.p1, pair.e1, pair.i1),
+                                     topo.host(pair.p2, pair.e2, pair.i2), 3);
+    EXPECT_EQ(report.received, 3)
+        << pair.p1 << pair.e1 << pair.i1 << "→" << pair.p2 << pair.e2
+        << pair.i2;
+  }
+}
+
+TEST(FatTree, LargerArityK6Builds) {
+  FatTreeOptions options;
+  options.k = 6;
+  FatTreeTopology topo(options);
+  // k=6: 6 pods × (3+3) + 9 cores + 54 hosts = 99 nodes.
+  EXPECT_EQ(topo.network().nodes().size(), 99u);
+  const auto report = ping_between(topo, topo.host(0, 0, 0), topo.host(5, 2, 2));
+  EXPECT_EQ(report.received, 5);
+}
+
+TEST(FatTree, CombinerWrappedAggStillRoutes) {
+  FatTreeOptions options;
+  options.combine_agg = AggPosition{.pod = 0, .index = 0};
+  options.combiner.k = 3;
+  FatTreeTopology topo(options);
+  EXPECT_EQ(topo.agg(0, 0), nullptr);
+  EXPECT_EQ(topo.combiner().replicas.size(), 3u);
+  EXPECT_EQ(topo.combiner().edges.size(), 4u);  // 2 edges + 2 cores
+
+  // Intra-pod traffic through the wrapped position.
+  const auto intra = ping_between(topo, topo.host(0, 0, 0), topo.host(0, 1, 0));
+  EXPECT_EQ(intra.received, 5);
+  // Inter-pod traffic through the wrapped position (via core).
+  const auto inter = ping_between(topo, topo.host(0, 0, 1), topo.host(2, 0, 0));
+  EXPECT_EQ(inter.received, 5);
+  // Traffic into the pod from outside.
+  const auto inbound = ping_between(topo, topo.host(1, 0, 0), topo.host(0, 0, 0));
+  EXPECT_EQ(inbound.received, 5);
+}
+
+// --- §VI case study ----------------------------------------------------------
+
+TEST(CaseStudy, BaselineTenPerfectCycles) {
+  const auto r = scenario::run_case_study(scenario::CaseStudyMode::kBaseline);
+  EXPECT_EQ(r.requests_sent, 10);
+  EXPECT_EQ(r.replies_received_at_vm1, 10);
+  EXPECT_EQ(r.requests_at_fw1, 10u);
+  EXPECT_EQ(r.mirrored_at_core, 0u);
+  EXPECT_EQ(r.stray_at_hosts, 0u);
+}
+
+TEST(CaseStudy, AttackDoublesRequestsAndKillsReplies) {
+  const auto r = scenario::run_case_study(scenario::CaseStudyMode::kAttacked);
+  // The paper: "After 10 requests sent, we witness 20 requests arriving at
+  // fw1 and 0 responses arriving at vm1."
+  EXPECT_EQ(r.requests_sent, 10);
+  EXPECT_EQ(r.requests_at_fw1, 20u);
+  EXPECT_EQ(r.replies_received_at_vm1, 0);
+  EXPECT_EQ(r.mirrored_at_core, 10u);
+  EXPECT_GT(r.attacker_packets_attacked, 0u);
+}
+
+TEST(CaseStudy, NetcoRestoresAllCycles) {
+  const auto r = scenario::run_case_study(scenario::CaseStudyMode::kProtected);
+  EXPECT_EQ(r.requests_sent, 10);
+  EXPECT_EQ(r.replies_received_at_vm1, 10);
+  EXPECT_EQ(r.requests_at_fw1, 10u);  // the mirror never escaped
+  EXPECT_EQ(r.mirrored_at_core, 0u);
+  EXPECT_EQ(r.stray_at_hosts, 0u);
+  // Mirrored copies arrived at the compare but never left it; the
+  // malicious replica's dropped responses still lost the vote 2:1.
+  EXPECT_GT(r.compare_evicted_minority, 0u);
+  EXPECT_EQ(r.compare_released, 20u);  // 10 requests + 10 replies
+  EXPECT_GT(r.attacker_packets_attacked, 0u);
+}
+
+TEST(CaseStudy, DeterministicAcrossRuns) {
+  const auto a = scenario::run_case_study(scenario::CaseStudyMode::kAttacked,
+                                          10, 7);
+  const auto b = scenario::run_case_study(scenario::CaseStudyMode::kAttacked,
+                                          10, 7);
+  EXPECT_EQ(a.requests_at_fw1, b.requests_at_fw1);
+  EXPECT_EQ(a.mirrored_at_core, b.mirrored_at_core);
+}
+
+TEST(CaseStudy, MoreCyclesScaleLinearly) {
+  const auto r = scenario::run_case_study(scenario::CaseStudyMode::kAttacked,
+                                          25);
+  EXPECT_EQ(r.requests_at_fw1, 50u);
+  EXPECT_EQ(r.replies_received_at_vm1, 0);
+}
+
+}  // namespace
+}  // namespace netco::topo

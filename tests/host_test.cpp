@@ -1,0 +1,348 @@
+// Unit tests for the host stack: demux, MAC filtering, CPU model,
+// ICMP echo handling, and the iperf-style UDP sender/sink.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/network.h"
+#include "host/host.h"
+#include "host/ping.h"
+#include "host/udp_app.h"
+#include "net/headers.h"
+
+namespace netco::host {
+namespace {
+
+using device::Network;
+
+/// A deterministic host profile for timing-sensitive assertions.
+HostProfile flat_profile() {
+  HostProfile p;
+  p.service_jitter = 0.0;
+  return p;
+}
+
+struct TwoHosts {
+  sim::Simulator sim;
+  Network net{sim};
+  Host& a;
+  Host& b;
+  TwoHosts()
+      : a(net.add_node<Host>("a", net::MacAddress::from_id(1),
+                             net::Ipv4Address::from_id(1), flat_profile())),
+        b(net.add_node<Host>("b", net::MacAddress::from_id(2),
+                             net::Ipv4Address::from_id(2), flat_profile())) {
+    net.connect(a, b);
+  }
+};
+
+net::Packet udp_to(const Host& src, const Host& dst, std::uint16_t port,
+                   std::size_t payload_bytes = 32) {
+  std::vector<std::byte> payload(payload_bytes, std::byte{0x7E});
+  return net::build_udp(
+      net::EthernetHeader{.dst = dst.mac(), .src = src.mac()}, std::nullopt,
+      net::Ipv4Header{.src = src.ip(), .dst = dst.ip()},
+      net::UdpHeader{.src_port = 9, .dst_port = port}, payload);
+}
+
+TEST(Host, DeliversUdpToBoundPort) {
+  TwoHosts t;
+  int delivered = 0;
+  t.b.bind_udp(5001, [&](const net::ParsedPacket&, const net::Packet&) {
+    ++delivered;
+  });
+  t.a.transmit(udp_to(t.a, t.b, 5001));
+  t.sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(t.b.stats().rx_packets, 1u);
+}
+
+TEST(Host, UnboundPortSilentlyIgnored) {
+  TwoHosts t;
+  t.a.transmit(udp_to(t.a, t.b, 4444));
+  t.sim.run();
+  EXPECT_EQ(t.b.stats().rx_packets, 1u);  // accepted, no handler
+}
+
+TEST(Host, StrayMacFilteredAndCounted) {
+  TwoHosts t;
+  net::Packet p = udp_to(t.a, t.b, 5001);
+  net::set_dl_dst(p, net::MacAddress::from_id(99));  // not b's MAC
+  t.a.transmit(p);
+  t.sim.run();
+  EXPECT_EQ(t.b.stats().rx_stray, 1u);
+  EXPECT_EQ(t.b.stats().rx_packets, 0u);
+}
+
+TEST(Host, BroadcastAccepted) {
+  TwoHosts t;
+  int delivered = 0;
+  t.b.bind_udp(5001, [&](const net::ParsedPacket&, const net::Packet&) {
+    ++delivered;
+  });
+  net::Packet p = udp_to(t.a, t.b, 5001);
+  net::set_dl_dst(p, net::MacAddress::broadcast());
+  net::fix_checksums(p);
+  t.a.transmit(p);
+  t.sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Host, BadChecksumDropped) {
+  TwoHosts t;
+  int delivered = 0;
+  t.b.bind_udp(5001, [&](const net::ParsedPacket&, const net::Packet&) {
+    ++delivered;
+  });
+  net::Packet p = udp_to(t.a, t.b, 5001);
+  net::corrupt_byte(p, p.size() - 1);  // payload corrupted, checksum stale
+  t.a.transmit(p);
+  t.sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(t.b.stats().rx_bad_checksum, 1u);
+}
+
+TEST(Host, RxTapSeesStrays) {
+  TwoHosts t;
+  int tapped = 0;
+  t.b.set_rx_tap([&](const net::Packet&) { ++tapped; });
+  net::Packet p = udp_to(t.a, t.b, 5001);
+  net::set_dl_dst(p, net::MacAddress::from_id(99));
+  t.a.transmit(p);
+  t.sim.run();
+  EXPECT_EQ(tapped, 1);
+}
+
+TEST(Host, AutoAnswersEchoRequests) {
+  TwoHosts t;
+  int replies = 0;
+  t.a.set_icmp_reply_handler(
+      [&](const net::ParsedPacket&, const net::Packet&) { ++replies; });
+  std::vector<std::byte> payload(56, std::byte{0x11});
+  t.a.transmit(net::build_icmp_echo(
+      net::EthernetHeader{.dst = t.b.mac(), .src = t.a.mac()}, std::nullopt,
+      net::Ipv4Header{.src = t.a.ip(), .dst = t.b.ip()},
+      net::IcmpEchoHeader{.type = net::kIcmpEchoRequest, .id = 3, .seq = 0},
+      payload));
+  t.sim.run();
+  EXPECT_EQ(t.b.stats().icmp_echo_requests, 1u);
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(Host, EchoReplyPreservesPayloadAndIds) {
+  TwoHosts t;
+  net::Packet reply_packet;
+  t.a.set_icmp_reply_handler(
+      [&](const net::ParsedPacket&, const net::Packet& p) { reply_packet = p; });
+  std::vector<std::byte> payload(24, std::byte{0x3C});
+  t.a.transmit(net::build_icmp_echo(
+      net::EthernetHeader{.dst = t.b.mac(), .src = t.a.mac()}, std::nullopt,
+      net::Ipv4Header{.src = t.a.ip(), .dst = t.b.ip()},
+      net::IcmpEchoHeader{.type = net::kIcmpEchoRequest, .id = 5, .seq = 9},
+      payload));
+  t.sim.run();
+  const auto parsed = net::parse_packet(reply_packet);
+  ASSERT_TRUE(parsed && parsed->icmp);
+  EXPECT_EQ(parsed->icmp->type, net::kIcmpEchoReply);
+  EXPECT_EQ(parsed->icmp->id, 5);
+  EXPECT_EQ(parsed->icmp->seq, 9);
+  EXPECT_EQ(reply_packet.size() - parsed->payload_offset, 24u);
+  EXPECT_EQ(reply_packet.u8(parsed->payload_offset), 0x3C);
+}
+
+TEST(Host, CpuJobsRunFifoWithCosts) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& h = net.add_node<Host>("h", net::MacAddress::from_id(1),
+                               net::Ipv4Address::from_id(1), flat_profile());
+  std::vector<std::int64_t> done_at;
+  h.cpu_submit(sim::Duration::microseconds(10),
+               [&] { done_at.push_back(sim.now().ns()); });
+  h.cpu_submit(sim::Duration::microseconds(20),
+               [&] { done_at.push_back(sim.now().ns()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_EQ(done_at[0], 10'000);
+  EXPECT_EQ(done_at[1], 30'000);
+}
+
+TEST(Host, RxBacklogHysteresisDropsBursts) {
+  sim::Simulator sim;
+  Network net(sim);
+  HostProfile slow = flat_profile();
+  slow.rx_cost = sim::Duration::milliseconds(10);
+  slow.rx_backlog = 4;
+  auto& a = net.add_node<Host>("a", net::MacAddress::from_id(1),
+                               net::Ipv4Address::from_id(1), flat_profile());
+  auto& b = net.add_node<Host>("b", net::MacAddress::from_id(2),
+                               net::Ipv4Address::from_id(2), slow);
+  net.connect(a, b);
+
+  for (int i = 0; i < 10; ++i) a.transmit(udp_to(a, b, 5001));
+  sim.run();
+  // 4 admitted before overflow; then drop until drained to 2 — with all
+  // arrivals nearly simultaneous, everything after the 4th dies.
+  EXPECT_EQ(b.stats().rx_packets, 4u);
+  EXPECT_EQ(b.stats().rx_backlog_drops, 6u);
+}
+
+TEST(Host, IpIdMonotone) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& h = net.add_node<Host>("h", net::MacAddress::from_id(1),
+                               net::Ipv4Address::from_id(1));
+  const auto first = h.next_ip_id();
+  EXPECT_EQ(h.next_ip_id(), static_cast<std::uint16_t>(first + 1));
+}
+
+// --- UDP apps ---------------------------------------------------------------
+
+TEST(UdpApps, SenderPacesAtConfiguredRate) {
+  TwoHosts t;
+  UdpSenderConfig config;
+  config.dst_mac = t.b.mac();
+  config.dst_ip = t.b.ip();
+  config.rate = DataRate::megabits_per_sec(10);
+  config.payload_bytes = 1250;  // 10 Mb/s / 10 kb = 1000 datagrams/s
+  UdpSender sender(t.a, config);
+  UdpSink sink(t.b, config.dst_port);
+
+  sender.start();
+  t.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  sender.stop();
+  t.sim.run_for(sim::Duration::milliseconds(10));
+  EXPECT_NEAR(static_cast<double>(sender.stats().datagrams_sent), 1000.0, 20.0);
+  const auto report = sink.report();
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_NEAR(report.goodput_mbps, 10.0, 0.5);
+}
+
+TEST(UdpApps, SinkCountsDuplicates) {
+  TwoHosts t;
+  UdpSink sink(t.b, 5001);
+  // Build one sender datagram and deliver it twice.
+  UdpSenderConfig config;
+  config.dst_mac = t.b.mac();
+  config.dst_ip = t.b.ip();
+  config.dst_port = 5001;
+  config.rate = DataRate::megabits_per_sec(1);
+  UdpSender sender(t.a, config);
+  sender.start();
+  t.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(1));
+  sender.stop();
+  t.sim.run();
+  ASSERT_EQ(sink.report().unique_received, 1u);
+
+  // Replay the same bytes: counted as duplicate, not as new data.
+  // (Simulate by sending seq 0 again through a fresh sender with the same
+  // sequence space.)
+  UdpSender replay(t.a, config);
+  replay.start();
+  t.sim.run_for(sim::Duration::milliseconds(1));
+  replay.stop();
+  t.sim.run();
+  const auto report = sink.report();
+  EXPECT_EQ(report.unique_received, 1u);
+  EXPECT_GE(report.duplicates, 1u);
+}
+
+TEST(UdpApps, SinkLossAccounting) {
+  // Send 10 datagrams, drop 3 in the middle via a blocked period: emulate
+  // by delivering crafted datagrams directly with gaps in the sequence.
+  TwoHosts t;
+  UdpSink sink(t.b, 5001);
+  auto craft = [&](std::uint32_t seq) {
+    std::vector<std::byte> payload(16, std::byte{0});
+    for (int i = 0; i < 4; ++i)
+      payload[static_cast<std::size_t>(i)] =
+          static_cast<std::byte>((seq >> (24 - 8 * i)) & 0xFF);
+    return net::build_udp(
+        net::EthernetHeader{.dst = t.b.mac(), .src = t.a.mac()}, std::nullopt,
+        net::Ipv4Header{.src = t.a.ip(),
+                        .dst = t.b.ip(),
+                        .identification = static_cast<std::uint16_t>(seq)},
+        net::UdpHeader{.src_port = 9, .dst_port = 5001}, payload);
+  };
+  for (std::uint32_t seq : {0u, 1u, 2u, 6u, 7u, 8u, 9u}) {
+    t.a.transmit(craft(seq));
+  }
+  t.sim.run();
+  const auto report = sink.report();
+  EXPECT_EQ(report.expected, 10u);
+  EXPECT_EQ(report.unique_received, 7u);
+  EXPECT_EQ(report.lost, 3u);
+  EXPECT_NEAR(report.loss_rate, 0.3, 1e-9);
+}
+
+TEST(UdpApps, ResetBaselinesSequenceSpace) {
+  TwoHosts t;
+  UdpSenderConfig config;
+  config.dst_mac = t.b.mac();
+  config.dst_ip = t.b.ip();
+  config.rate = DataRate::megabits_per_sec(10);
+  UdpSender sender(t.a, config);
+  UdpSink sink(t.b, config.dst_port);
+  sender.start();
+  t.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(100));
+  sink.reset();
+  t.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(200));
+  sender.stop();
+  t.sim.run_for(sim::Duration::milliseconds(10));
+  // No false loss from the pre-reset sequence numbers.
+  EXPECT_EQ(sink.report().lost, 0u);
+}
+
+// --- Pinger -----------------------------------------------------------------
+
+TEST(Pinger, MeasuresAllCycles) {
+  TwoHosts t;
+  PingConfig config;
+  config.dst_mac = t.b.mac();
+  config.dst_ip = t.b.ip();
+  config.count = 10;
+  config.interval = sim::Duration::milliseconds(1);
+  IcmpPinger pinger(t.a, config);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  t.sim.run();
+  EXPECT_TRUE(done);
+  const auto report = pinger.report();
+  EXPECT_EQ(report.transmitted, 10);
+  EXPECT_EQ(report.received, 10);
+  EXPECT_GT(report.min_ms, 0.0);
+  // Epsilon absorbs summation rounding when all samples are identical.
+  EXPECT_LE(report.min_ms, report.avg_ms + 1e-9);
+  EXPECT_LE(report.avg_ms, report.max_ms + 1e-9);
+  EXPECT_EQ(report.rtts_ms.size(), 10u);
+}
+
+TEST(Pinger, TimeoutCountsAsLoss) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& a = net.add_node<Host>("a", net::MacAddress::from_id(1),
+                               net::Ipv4Address::from_id(1), flat_profile());
+  // No peer: requests vanish into a stub node.
+  struct Blackhole : device::Node {
+    using Node::Node;
+    void handle_packet(device::PortIndex, net::Packet) override {}
+  };
+  auto& hole = net.add_node<Blackhole>("hole");
+  net.connect(a, hole);
+
+  PingConfig config;
+  config.dst_mac = net::MacAddress::from_id(2);
+  config.dst_ip = net::Ipv4Address::from_id(2);
+  config.count = 5;
+  config.interval = sim::Duration::milliseconds(1);
+  config.timeout = sim::Duration::milliseconds(50);
+  IcmpPinger pinger(a, config);
+  pinger.start();
+  sim.run();
+  EXPECT_TRUE(pinger.finished());
+  const auto report = pinger.report();
+  EXPECT_EQ(report.transmitted, 5);
+  EXPECT_EQ(report.received, 0);
+}
+
+}  // namespace
+}  // namespace netco::host

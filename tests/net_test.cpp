@@ -1,0 +1,364 @@
+// Unit tests for the packet/header layer: addresses, build/parse
+// round-trips, checksums, in-place mutators, and a parse-robustness
+// property sweep over random bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/address.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace netco::net {
+namespace {
+
+std::vector<std::byte> make_payload(std::size_t n, std::uint8_t fill = 0xAB) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+EthernetHeader eth_ab() {
+  return {.dst = MacAddress::from_id(2), .src = MacAddress::from_id(1)};
+}
+
+Ipv4Header ip_ab() {
+  return {.src = Ipv4Address::from_id(1),
+          .dst = Ipv4Address::from_id(2),
+          .identification = 77};
+}
+
+TEST(Address, MacToString) {
+  EXPECT_EQ(MacAddress::from_id(0x010203).to_string(), "02:00:00:01:02:03");
+  EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(Address, MacPredicates) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_FALSE(MacAddress::from_id(5).is_broadcast());
+  EXPECT_FALSE(MacAddress::from_id(5).is_multicast());
+}
+
+TEST(Address, Ipv4ToString) {
+  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 1, 200).to_string(), "10.0.1.200");
+  EXPECT_EQ(Ipv4Address::from_id(258).to_string(), "10.0.1.2");
+}
+
+TEST(Address, OrderingAndHash) {
+  EXPECT_LT(MacAddress::from_id(1), MacAddress::from_id(2));
+  EXPECT_EQ(std::hash<MacAddress>{}(MacAddress::from_id(9)),
+            std::hash<MacAddress>{}(MacAddress::from_id(9)));
+  EXPECT_LT(Ipv4Address::from_id(1), Ipv4Address::from_id(2));
+}
+
+TEST(Packet, BigEndianAccessors) {
+  Packet p = Packet::zeroed(8);
+  p.set_u16be(0, 0x1234);
+  p.set_u32be(2, 0xDEADBEEF);
+  EXPECT_EQ(p.u16be(0), 0x1234);
+  EXPECT_EQ(p.u32be(2), 0xDEADBEEFu);
+  EXPECT_EQ(p.u8(2), 0xDE);
+  EXPECT_EQ(p.u8(5), 0xEF);
+}
+
+TEST(Packet, MacRoundTrip) {
+  Packet p = Packet::zeroed(12);
+  p.set_mac_at(3, MacAddress::from_id(0xABCDEF));
+  EXPECT_EQ(p.mac_at(3), MacAddress::from_id(0xABCDEF));
+}
+
+TEST(Packet, InsertAndErase) {
+  Packet p = Packet::zeroed(4);
+  p.set_u8(0, 1);
+  p.set_u8(1, 2);
+  p.set_u8(2, 3);
+  p.set_u8(3, 4);
+  p.insert_zeros(2, 2);
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.u8(1), 2);
+  EXPECT_EQ(p.u8(2), 0);
+  EXPECT_EQ(p.u8(4), 3);
+  p.erase(2, 2);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.u8(2), 3);
+}
+
+TEST(Packet, EqualityIsBitwise) {
+  Packet a = Packet::zeroed(64);
+  Packet b = Packet::zeroed(64);
+  EXPECT_EQ(a, b);
+  b.set_u8(63, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Packet, ContentHashSensitiveToEveryByte) {
+  Packet a = Packet::zeroed(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    Packet b = a;
+    b.set_u8(i, 0xFF);
+    EXPECT_NE(a.content_hash(), b.content_hash()) << "byte " << i;
+  }
+}
+
+TEST(Packet, PrefixHashIgnoresTail) {
+  Packet a = Packet::zeroed(64);
+  Packet b = a;
+  b.set_u8(60, 0x55);
+  EXPECT_EQ(a.prefix_hash(32), b.prefix_hash(32));
+  EXPECT_NE(a.prefix_hash(64), b.prefix_hash(64));
+}
+
+TEST(Checksum, Rfc1071KnownVector) {
+  // Classic example: bytes 00 01 f2 03 f4 f5 f6 f7 → checksum 0x220d.
+  const std::byte data[] = {std::byte{0x00}, std::byte{0x01}, std::byte{0xf2},
+                            std::byte{0x03}, std::byte{0xf4}, std::byte{0xf5},
+                            std::byte{0xf6}, std::byte{0xf7}};
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::byte data[] = {std::byte{0xAB}};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xAB00u));
+}
+
+TEST(Headers, UdpRoundTrip) {
+  const auto payload = make_payload(100);
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1111, .dst_port = 2222}, payload);
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->eth.src, MacAddress::from_id(1));
+  EXPECT_EQ(parsed->eth.dst, MacAddress::from_id(2));
+  ASSERT_TRUE(parsed->ipv4.has_value());
+  EXPECT_EQ(parsed->ipv4->proto, IpProto::Udp);
+  EXPECT_EQ(parsed->ipv4->identification, 77);
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->udp->src_port, 1111);
+  EXPECT_EQ(parsed->udp->dst_port, 2222);
+  EXPECT_EQ(p.size() - parsed->payload_offset, 100u);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Headers, TcpRoundTrip) {
+  TcpHeader tcp;
+  tcp.src_port = 5001;
+  tcp.dst_port = 5002;
+  tcp.seq = 0xAABBCCDD;
+  tcp.ack = 0x11223344;
+  tcp.flags = kTcpAck | kTcpPsh;
+  tcp.window = 4321;
+  Packet p = build_tcp(eth_ab(), std::nullopt, ip_ab(), tcp, make_payload(50));
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->tcp);
+  EXPECT_EQ(parsed->tcp->seq, 0xAABBCCDDu);
+  EXPECT_EQ(parsed->tcp->ack, 0x11223344u);
+  EXPECT_EQ(parsed->tcp->flags, kTcpAck | kTcpPsh);
+  EXPECT_EQ(parsed->tcp->window, 4321);
+  EXPECT_FALSE(parsed->tcp->sack.has_value());
+  EXPECT_EQ(p.size() - parsed->payload_offset, 50u);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Headers, TcpSackOptionRoundTrip) {
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  tcp.sack = {{1000, 2460}};
+  Packet p = build_tcp(eth_ab(), std::nullopt, ip_ab(), tcp, {});
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->tcp);
+  ASSERT_TRUE(parsed->tcp->sack.has_value());
+  EXPECT_EQ(parsed->tcp->sack->first, 1000u);
+  EXPECT_EQ(parsed->tcp->sack->second, 2460u);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Headers, IcmpEchoRoundTrip) {
+  Packet p = build_icmp_echo(eth_ab(), std::nullopt, ip_ab(),
+                             IcmpEchoHeader{.type = kIcmpEchoRequest,
+                                            .id = 42,
+                                            .seq = 7},
+                             make_payload(56));
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->icmp);
+  EXPECT_EQ(parsed->icmp->type, kIcmpEchoRequest);
+  EXPECT_EQ(parsed->icmp->id, 42);
+  EXPECT_EQ(parsed->icmp->seq, 7);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Headers, VlanTagRoundTrip) {
+  Packet p = build_udp(eth_ab(), VlanTag{.vid = 123, .pcp = 5}, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->vlan);
+  EXPECT_EQ(parsed->vlan->vid, 123);
+  EXPECT_EQ(parsed->vlan->pcp, 5);
+  ASSERT_TRUE(parsed->udp);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Headers, RuntFramesRejected) {
+  EXPECT_FALSE(parse_packet(Packet::zeroed(13)).has_value());
+  EXPECT_FALSE(parse_packet(Packet{}).has_value());
+}
+
+TEST(Headers, NonIpPassesThroughWithoutL3) {
+  Packet p = build_ethernet(
+      EthernetHeader{.dst = MacAddress::from_id(2),
+                     .src = MacAddress::from_id(1),
+                     .ethertype = 0x8899},
+      std::nullopt, make_payload(10));
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ipv4.has_value());
+  EXPECT_EQ(parsed->eth.ethertype, 0x8899);
+  EXPECT_TRUE(checksums_valid(p));  // nothing to verify for non-IP
+}
+
+TEST(Headers, TruncatedIpv4Rejected) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  p.resize(20);  // cut inside the IPv4 header
+  EXPECT_FALSE(parse_packet(p).has_value());
+}
+
+TEST(Mutators, SetDlDstRewrites) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  set_dl_dst(p, MacAddress::from_id(99));
+  EXPECT_EQ(parse_packet(p)->eth.dst, MacAddress::from_id(99));
+}
+
+TEST(Mutators, SetVlanInsertsWhenUntagged) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  const std::size_t before = p.size();
+  set_vlan(p, 555);
+  EXPECT_EQ(p.size(), before + 4);
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->vlan);
+  EXPECT_EQ(parsed->vlan->vid, 555);
+  EXPECT_TRUE(parsed->udp.has_value());  // inner layers intact
+}
+
+TEST(Mutators, SetVlanModifiesExistingTag) {
+  Packet p = build_udp(eth_ab(), VlanTag{.vid = 1}, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  const std::size_t before = p.size();
+  set_vlan(p, 777);
+  EXPECT_EQ(p.size(), before);  // no second tag
+  EXPECT_EQ(parse_packet(p)->vlan->vid, 777);
+}
+
+TEST(Mutators, StripVlanRemovesTag) {
+  Packet p = build_udp(eth_ab(), VlanTag{.vid = 9}, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  strip_vlan(p);
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->vlan.has_value());
+  EXPECT_TRUE(parsed->udp.has_value());
+  strip_vlan(p);  // idempotent on untagged frames
+  EXPECT_TRUE(parse_packet(p)->udp.has_value());
+}
+
+TEST(Mutators, SetVlanThenStripRestoresOriginal) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(30));
+  const Packet original = p;
+  set_vlan(p, 100);
+  EXPECT_NE(p, original);
+  strip_vlan(p);
+  EXPECT_EQ(p, original);  // the §VII tunnel must be transparent
+}
+
+TEST(Mutators, SetNwDstFixesChecksums) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  set_nw_dst(p, Ipv4Address::from_id(200));
+  EXPECT_EQ(parse_packet(p)->ipv4->dst, Ipv4Address::from_id(200));
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Mutators, CorruptByteBreaksChecksum) {
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 1, .dst_port = 2},
+                       make_payload(20));
+  corrupt_byte(p, p.size() - 1);
+  EXPECT_FALSE(checksums_valid(p));
+  fix_checksums(p);
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+TEST(Mutators, TcpChecksumDetectsCorruption) {
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  Packet p = build_tcp(eth_ab(), std::nullopt, ip_ab(), tcp,
+                       make_payload(40));
+  EXPECT_TRUE(checksums_valid(p));
+  corrupt_byte(p, p.size() - 1);
+  EXPECT_FALSE(checksums_valid(p));
+}
+
+TEST(Mutators, IcmpChecksumDetectsCorruption) {
+  Packet p = build_icmp_echo(eth_ab(), std::nullopt, ip_ab(),
+                             IcmpEchoHeader{}, make_payload(32));
+  EXPECT_TRUE(checksums_valid(p));
+  corrupt_byte(p, p.size() - 1);
+  EXPECT_FALSE(checksums_valid(p));
+}
+
+// Property: the parser never crashes or mis-indexes on arbitrary bytes.
+class ParseFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const auto size = static_cast<std::size_t>(rng.uniform_u64(200));
+    std::vector<std::byte> bytes(size);
+    for (auto& b : bytes)
+      b = static_cast<std::byte>(rng.uniform_u64(256));
+    Packet p(std::move(bytes));
+    const auto parsed = parse_packet(p);
+    if (parsed) {
+      // Offsets must stay within the buffer.
+      EXPECT_LE(parsed->l3_offset, p.size());
+      EXPECT_LE(parsed->payload_offset, p.size());
+    }
+    (void)checksums_valid(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: build→parse is loss-free across payload sizes.
+class UdpSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UdpSizeSweep, RoundTripAnyPayload) {
+  const auto payload = make_payload(GetParam(), 0x5C);
+  Packet p = build_udp(eth_ab(), std::nullopt, ip_ab(),
+                       UdpHeader{.src_port = 7, .dst_port = 8}, payload);
+  const auto parsed = parse_packet(p);
+  ASSERT_TRUE(parsed && parsed->udp);
+  EXPECT_EQ(p.size() - parsed->payload_offset, GetParam());
+  EXPECT_TRUE(checksums_valid(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UdpSizeSweep,
+                         ::testing::Values(0, 1, 2, 12, 63, 64, 512, 1000,
+                                           1470, 1472));
+
+}  // namespace
+}  // namespace netco::net

@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace netco::sim {
+namespace {
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ((Duration::seconds(1) + Duration::milliseconds(500)).ms(), 1500.0);
+  EXPECT_EQ((Duration::microseconds(10) - Duration::microseconds(4)).us(), 6.0);
+  EXPECT_EQ((Duration::milliseconds(2) * 3).ms(), 6.0);
+  EXPECT_EQ((Duration::milliseconds(9) / 3).ms(), 3.0);
+  EXPECT_EQ((-Duration::seconds(1)).sec(), -1.0);
+}
+
+TEST(Time, SecondsFractionalRounds) {
+  EXPECT_EQ(Duration::seconds_f(0.5).ms(), 500.0);
+  EXPECT_EQ(Duration::seconds_f(1e-9).ns(), 1);
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t = TimePoint::origin() + Duration::seconds(2);
+  EXPECT_EQ(t.sec(), 2.0);
+  EXPECT_EQ((t - TimePoint::origin()).sec(), 2.0);
+  EXPECT_EQ((t - Duration::seconds(1)).sec(), 1.0);
+}
+
+TEST(Time, TransmissionTimeExact) {
+  // 1500 bytes at 1 Gb/s = 12 µs.
+  EXPECT_EQ(transmission_time(DataRate::gigabits_per_sec(1), 1500).us(), 12.0);
+}
+
+TEST(Time, TransmissionTimeRoundsUpNonZero) {
+  // 1 byte at 10 Gb/s = 0.8 ns → rounds to 1 ns, never 0.
+  EXPECT_EQ(transmission_time(DataRate::gigabits_per_sec(10), 1).ns(), 1);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::milliseconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns(), Duration::milliseconds(3).ns());
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::milliseconds(1), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::milliseconds(1), [&] {
+    ++fired;
+    sim.schedule_after(Duration::milliseconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), Duration::milliseconds(2).ns());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::milliseconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::milliseconds(10), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  // Clock advances to exactly the deadline even with no event there.
+  EXPECT_EQ(sim.now().ns(), Duration::milliseconds(5).ns());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle =
+      sim.schedule_after(Duration::milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle =
+      sim.schedule_after(Duration::milliseconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::milliseconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(Duration::milliseconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_after(Duration::milliseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(Duration::zero(), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now().ns(), 0);
+}
+
+}  // namespace
+}  // namespace netco::sim

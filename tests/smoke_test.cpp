@@ -1,0 +1,45 @@
+// End-to-end smoke tests: ping and small transfers through every scenario.
+#include <gtest/gtest.h>
+
+#include "scenario/scenarios.h"
+
+namespace netco::scenario {
+namespace {
+
+class ScenarioSmoke : public ::testing::TestWithParam<ScenarioKind> {};
+
+TEST_P(ScenarioSmoke, PingCompletesAllCycles) {
+  const auto report =
+      measure_ping(GetParam(), 10, sim::Duration::milliseconds(5));
+  EXPECT_EQ(report.transmitted, 10);
+  EXPECT_EQ(report.received, 10) << to_string(GetParam());
+  EXPECT_GT(report.avg_ms, 0.0);
+}
+
+TEST_P(ScenarioSmoke, UdpLowRateIsLossless) {
+  const auto run = measure_udp_at(GetParam(), DataRate::megabits_per_sec(10),
+                                  sim::Duration::milliseconds(300));
+  EXPECT_NEAR(run.goodput_mbps, 10.0, 1.5) << to_string(GetParam());
+  EXPECT_LT(run.loss_rate, 0.001) << to_string(GetParam());
+}
+
+TEST_P(ScenarioSmoke, TcpMovesData) {
+  // Two runs of 600 ms: long enough that one unlucky RTO early in a run
+  // (possible in the loss-heavy k=5 scenarios) cannot drag the mean to
+  // zero, short enough to stay fast.
+  const auto result =
+      measure_tcp(GetParam(), 2, sim::Duration::milliseconds(600));
+  EXPECT_GT(result.mbps.mean, 5.0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioSmoke,
+    ::testing::Values(ScenarioKind::kLinespeed, ScenarioKind::kDup3,
+                      ScenarioKind::kDup5, ScenarioKind::kCentral3,
+                      ScenarioKind::kCentral5, ScenarioKind::kPox3),
+    [](const ::testing::TestParamInfo<ScenarioKind>& pinfo) {
+      return to_string(pinfo.param);
+    });
+
+}  // namespace
+}  // namespace netco::scenario

@@ -1,0 +1,85 @@
+// Tests for the stats helpers (summary statistics, table printer).
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace netco::stats {
+namespace {
+
+TEST(Summary, EmptyInputAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  const auto s = summarize({7.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, KnownValues) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summary, UnsortedInputHandled) {
+  const auto s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 3.0);
+}
+
+TEST(Summary, PercentilesMonotone) {
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(static_cast<double>(i));
+  const auto s = summarize(samples);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.max);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "22"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+  // Every row starts with the delimiter.
+  EXPECT_EQ(text.front(), '|');
+}
+
+TEST(Table, MissingCellsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"x"});
+  const auto text = table.render();
+  // Renders without crashing; the row has all three delimiters.
+  int pipes = 0;
+  const auto last_line_start = text.rfind("| x");
+  for (std::size_t i = last_line_start; i < text.size(); ++i)
+    if (text[i] == '|') ++pipes;
+  EXPECT_EQ(pipes, 4);  // leading + 3 columns' trailing
+}
+
+TEST(Table, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::num(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace netco::stats

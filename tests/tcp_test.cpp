@@ -1,0 +1,228 @@
+// Behavioural tests for the Reno/NewReno TCP implementation: bulk
+// transfer, loss recovery (fast retransmit and RTO), duplication tolerance
+// (the DSACK property the Dup scenarios depend on), and reordering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "device/network.h"
+#include "host/host.h"
+#include "host/tcp.h"
+#include "net/headers.h"
+
+namespace netco::host {
+namespace {
+
+using device::Network;
+
+/// Middle node that can drop, duplicate, or delay packets deterministically.
+class Middlebox : public device::Node {
+ public:
+  using Node::Node;
+
+  void handle_packet(device::PortIndex in_port, net::Packet packet) override {
+    const device::PortIndex out = in_port == 0 ? 1 : 0;
+    const auto parsed = net::parse_packet(packet);
+    const bool is_data =
+        parsed && parsed->tcp && parsed->payload_offset < packet.size();
+    ++seen_;
+    if (is_data) {
+      ++data_seen_;
+      if (drop_every > 0 &&
+          data_seen_ % static_cast<std::uint64_t>(drop_every) == 0) {
+        ++dropped_;
+        return;
+      }
+      for (int i = 0; i < duplicate_copies; ++i) send(out, packet);
+    }
+    send(out, std::move(packet));
+  }
+
+  int drop_every = 0;        ///< drop every Nth data segment (0 = off)
+  int duplicate_copies = 0;  ///< extra copies of each data segment
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t data_seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+struct TcpFixture {
+  sim::Simulator sim;
+  Network net{sim};
+  Host& a;
+  Host& b;
+  Middlebox& mid;
+
+  TcpFixture() : TcpFixture(HostProfile{}) {}
+  explicit TcpFixture(HostProfile profile)
+      : a(net.add_node<Host>("a", net::MacAddress::from_id(1),
+                             net::Ipv4Address::from_id(1), profile)),
+        b(net.add_node<Host>("b", net::MacAddress::from_id(2),
+                             net::Ipv4Address::from_id(2), profile)),
+        mid(net.add_node<Middlebox>("mid")) {
+    net.connect(a, mid);
+    net.connect(mid, b);
+  }
+
+  TcpConfig sender_config() const {
+    TcpConfig c;
+    c.peer_mac = b.mac();
+    c.peer_ip = b.ip();
+    return c;
+  }
+  TcpConfig receiver_config() const {
+    TcpConfig c;
+    c.peer_mac = a.mac();
+    c.peer_ip = a.ip();
+    return c;
+  }
+};
+
+TEST(Tcp, CleanPathBulkTransfer) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(500));
+  EXPECT_EQ(sender.stats().retransmissions, 0u);
+  EXPECT_EQ(sender.stats().rto_fires, 0u);
+  EXPECT_GT(sender.stats().bytes_acked, 1'000'000u);
+  // Receiver delivered exactly what the sender counts acked (±1 window).
+  EXPECT_GE(receiver.stats().bytes_delivered, sender.stats().bytes_acked);
+}
+
+TEST(Tcp, DeliveredDataIsInOrderPrefix) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.drop_every = 13;
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(500));
+  // bytes_delivered counts only the in-order prefix: it can never exceed
+  // (segments pushed in total) and never goes backwards — invariant
+  // enforced by construction; check consistency with the ACK stream.
+  EXPECT_LE(sender.stats().bytes_acked,
+            receiver.stats().bytes_delivered + 64 * 1460);
+}
+
+TEST(Tcp, RecoversFromPeriodicLossViaFastRetransmit) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.drop_every = 50;  // 2% deterministic loss
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_GT(f.mid.dropped(), 0u);
+  EXPECT_GT(sender.stats().fast_retransmits, 0u);
+  EXPECT_GT(sender.stats().bytes_acked, 500'000u);  // still making progress
+}
+
+TEST(Tcp, SrttConvergesToPathRtt) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(300));
+  EXPECT_GT(sender.stats().srtt_ms, 0.0);
+  EXPECT_LT(sender.stats().srtt_ms, 50.0);
+}
+
+TEST(Tcp, DuplicationAloneCausesNoRetransmission) {
+  // The Dup-scenario property: k copies of every segment must not trigger
+  // spurious fast retransmits (DSACK semantics), only duplicate counts.
+  // The receiver gets a fast CPU so the 3× packet load causes no backlog
+  // loss — this isolates the duplication effect from the overload effect.
+  HostProfile fast;
+  fast.rx_cost = sim::Duration::nanoseconds(500);
+  fast.ack_tx_cost = sim::Duration::nanoseconds(500);
+  TcpFixture f(fast);
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.duplicate_copies = 2;  // 3 copies total, no loss
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(200));
+  EXPECT_GT(receiver.stats().duplicate_segments, 0u);
+  EXPECT_EQ(sender.stats().fast_retransmits, 0u);
+  EXPECT_GT(sender.stats().bytes_acked, 100'000u);
+}
+
+TEST(Tcp, LossPlusDuplicationStillRecovers) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.duplicate_copies = 2;
+  f.mid.drop_every = 40;
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_GT(sender.stats().bytes_acked, 200'000u);
+}
+
+TEST(Tcp, TotalBlackoutTriggersRtoAndBackoff) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.drop_every = 1;  // everything dies
+  sender.start();
+  // With no RTT sample the initial RTO is 1 s; backoff doubles it, so the
+  // first two fires land at ~1 s and ~3 s.
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(4));
+  EXPECT_GE(sender.stats().rto_fires, 2u);
+  EXPECT_EQ(sender.stats().bytes_acked, 0u);
+  EXPECT_EQ(receiver.stats().bytes_delivered, 0u);
+}
+
+TEST(Tcp, ResumesAfterBlackoutEnds) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  f.mid.drop_every = 1;
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_EQ(sender.stats().bytes_acked, 0u);
+  f.mid.drop_every = 0;  // path heals
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(3));
+  EXPECT_GT(sender.stats().bytes_acked, 100'000u);
+}
+
+TEST(Tcp, StopFreezesSender) {
+  TcpFixture f;
+  TcpSender sender(f.a, f.sender_config());
+  TcpReceiver receiver(f.b, f.receiver_config());
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(100));
+  sender.stop();
+  const auto segments = sender.stats().segments_sent;
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(300));
+  EXPECT_EQ(sender.stats().segments_sent, segments);
+}
+
+TEST(Tcp, CwndGrowsFromInitialWindow) {
+  TcpFixture f;
+  TcpConfig config = f.sender_config();
+  config.init_cwnd_segments = 2;
+  TcpSender sender(f.a, config);
+  TcpConfig rconfig = f.receiver_config();
+  TcpReceiver receiver(f.b, rconfig);
+  const double initial = sender.cwnd();
+  EXPECT_EQ(initial, 2.0 * 1460);
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(100));
+  EXPECT_GT(sender.cwnd(), initial);
+}
+
+TEST(Tcp, CwndNeverExceedsReceiveWindow) {
+  TcpFixture f;
+  TcpConfig config = f.sender_config();
+  config.rwnd = 32 * 1460;
+  TcpSender sender(f.a, config);
+  TcpReceiver receiver(f.b, f.receiver_config());
+  sender.start();
+  f.sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(500));
+  EXPECT_LE(sender.cwnd(), static_cast<double>(config.rwnd) + 1.0);
+}
+
+}  // namespace
+}  // namespace netco::host
