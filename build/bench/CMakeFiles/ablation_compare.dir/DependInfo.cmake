@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_compare.cpp" "bench/CMakeFiles/ablation_compare.dir/ablation_compare.cpp.o" "gcc" "bench/CMakeFiles/ablation_compare.dir/ablation_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/netco_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/netco_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netco_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/netco_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/netco/CMakeFiles/netco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/netco_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/iproute/CMakeFiles/netco_iproute.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/netco_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/netco_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/netco_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netco_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

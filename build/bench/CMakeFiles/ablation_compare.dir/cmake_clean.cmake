@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compare.dir/ablation_compare.cpp.o"
+  "CMakeFiles/ablation_compare.dir/ablation_compare.cpp.o.d"
+  "ablation_compare"
+  "ablation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

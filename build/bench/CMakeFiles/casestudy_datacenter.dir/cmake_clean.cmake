@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_datacenter.dir/casestudy_datacenter.cpp.o"
+  "CMakeFiles/casestudy_datacenter.dir/casestudy_datacenter.cpp.o.d"
+  "casestudy_datacenter"
+  "casestudy_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

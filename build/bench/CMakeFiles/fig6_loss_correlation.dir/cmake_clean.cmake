@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_loss_correlation.dir/fig6_loss_correlation.cpp.o"
+  "CMakeFiles/fig6_loss_correlation.dir/fig6_loss_correlation.cpp.o.d"
+  "fig6_loss_correlation"
+  "fig6_loss_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_loss_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

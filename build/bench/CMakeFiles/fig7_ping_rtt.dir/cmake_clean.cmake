@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ping_rtt.dir/fig7_ping_rtt.cpp.o"
+  "CMakeFiles/fig7_ping_rtt.dir/fig7_ping_rtt.cpp.o.d"
+  "fig7_ping_rtt"
+  "fig7_ping_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ping_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_jitter.dir/fig8_jitter.cpp.o"
+  "CMakeFiles/fig8_jitter.dir/fig8_jitter.cpp.o.d"
+  "fig8_jitter"
+  "fig8_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compare.dir/micro_compare.cpp.o"
+  "CMakeFiles/micro_compare.dir/micro_compare.cpp.o.d"
+  "micro_compare"
+  "micro_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_netco.dir/virtual_netco.cpp.o"
+  "CMakeFiles/virtual_netco.dir/virtual_netco.cpp.o.d"
+  "virtual_netco"
+  "virtual_netco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_netco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_attack.dir/datacenter_attack.cpp.o"
+  "CMakeFiles/datacenter_attack.dir/datacenter_attack.cpp.o.d"
+  "datacenter_attack"
+  "datacenter_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_defense.dir/dos_defense.cpp.o"
+  "CMakeFiles/dos_defense.dir/dos_defense.cpp.o.d"
+  "dos_defense"
+  "dos_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

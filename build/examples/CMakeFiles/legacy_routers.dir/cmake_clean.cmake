@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_routers.dir/legacy_routers.cpp.o"
+  "CMakeFiles/legacy_routers.dir/legacy_routers.cpp.o.d"
+  "legacy_routers"
+  "legacy_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualized_netco.dir/virtualized_netco.cpp.o"
+  "CMakeFiles/virtualized_netco.dir/virtualized_netco.cpp.o.d"
+  "virtualized_netco"
+  "virtualized_netco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualized_netco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

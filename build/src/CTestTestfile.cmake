@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("link")
+subdirs("device")
+subdirs("openflow")
+subdirs("iproute")
+subdirs("controller")
+subdirs("host")
+subdirs("adversary")
+subdirs("netco")
+subdirs("topo")
+subdirs("stats")
+subdirs("scenario")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_adversary.dir/behaviors.cpp.o"
+  "CMakeFiles/netco_adversary.dir/behaviors.cpp.o.d"
+  "libnetco_adversary.a"
+  "libnetco_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

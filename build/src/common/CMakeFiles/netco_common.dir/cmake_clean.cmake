@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_common.dir/log.cpp.o"
+  "CMakeFiles/netco_common.dir/log.cpp.o.d"
+  "CMakeFiles/netco_common.dir/rng.cpp.o"
+  "CMakeFiles/netco_common.dir/rng.cpp.o.d"
+  "libnetco_common.a"
+  "libnetco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

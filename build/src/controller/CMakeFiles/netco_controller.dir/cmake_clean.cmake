@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_controller.dir/controller.cpp.o"
+  "CMakeFiles/netco_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/netco_controller.dir/learning_switch.cpp.o"
+  "CMakeFiles/netco_controller.dir/learning_switch.cpp.o.d"
+  "CMakeFiles/netco_controller.dir/static_routing.cpp.o"
+  "CMakeFiles/netco_controller.dir/static_routing.cpp.o.d"
+  "libnetco_controller.a"
+  "libnetco_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

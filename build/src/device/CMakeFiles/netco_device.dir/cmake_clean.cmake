@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_device.dir/network.cpp.o"
+  "CMakeFiles/netco_device.dir/network.cpp.o.d"
+  "CMakeFiles/netco_device.dir/node.cpp.o"
+  "CMakeFiles/netco_device.dir/node.cpp.o.d"
+  "libnetco_device.a"
+  "libnetco_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_host.dir/host.cpp.o"
+  "CMakeFiles/netco_host.dir/host.cpp.o.d"
+  "CMakeFiles/netco_host.dir/ping.cpp.o"
+  "CMakeFiles/netco_host.dir/ping.cpp.o.d"
+  "CMakeFiles/netco_host.dir/tcp.cpp.o"
+  "CMakeFiles/netco_host.dir/tcp.cpp.o.d"
+  "CMakeFiles/netco_host.dir/udp_app.cpp.o"
+  "CMakeFiles/netco_host.dir/udp_app.cpp.o.d"
+  "libnetco_host.a"
+  "libnetco_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_iproute.dir/legacy_router.cpp.o"
+  "CMakeFiles/netco_iproute.dir/legacy_router.cpp.o.d"
+  "libnetco_iproute.a"
+  "libnetco_iproute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_iproute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_link.dir/link.cpp.o"
+  "CMakeFiles/netco_link.dir/link.cpp.o.d"
+  "libnetco_link.a"
+  "libnetco_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_net.dir/address.cpp.o"
+  "CMakeFiles/netco_net.dir/address.cpp.o.d"
+  "CMakeFiles/netco_net.dir/checksum.cpp.o"
+  "CMakeFiles/netco_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/netco_net.dir/headers.cpp.o"
+  "CMakeFiles/netco_net.dir/headers.cpp.o.d"
+  "CMakeFiles/netco_net.dir/packet.cpp.o"
+  "CMakeFiles/netco_net.dir/packet.cpp.o.d"
+  "libnetco_net.a"
+  "libnetco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

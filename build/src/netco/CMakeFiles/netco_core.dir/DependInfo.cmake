@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netco/combiner.cpp" "src/netco/CMakeFiles/netco_core.dir/combiner.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/combiner.cpp.o.d"
+  "/root/repo/src/netco/compare_core.cpp" "src/netco/CMakeFiles/netco_core.dir/compare_core.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/compare_core.cpp.o.d"
+  "/root/repo/src/netco/compare_service.cpp" "src/netco/CMakeFiles/netco_core.dir/compare_service.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/compare_service.cpp.o.d"
+  "/root/repo/src/netco/hub.cpp" "src/netco/CMakeFiles/netco_core.dir/hub.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/hub.cpp.o.d"
+  "/root/repo/src/netco/legacy_combiner.cpp" "src/netco/CMakeFiles/netco_core.dir/legacy_combiner.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/legacy_combiner.cpp.o.d"
+  "/root/repo/src/netco/middlebox.cpp" "src/netco/CMakeFiles/netco_core.dir/middlebox.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/middlebox.cpp.o.d"
+  "/root/repo/src/netco/sampling.cpp" "src/netco/CMakeFiles/netco_core.dir/sampling.cpp.o" "gcc" "src/netco/CMakeFiles/netco_core.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/netco_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/netco_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/netco_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/iproute/CMakeFiles/netco_iproute.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/netco_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_core.dir/combiner.cpp.o"
+  "CMakeFiles/netco_core.dir/combiner.cpp.o.d"
+  "CMakeFiles/netco_core.dir/compare_core.cpp.o"
+  "CMakeFiles/netco_core.dir/compare_core.cpp.o.d"
+  "CMakeFiles/netco_core.dir/compare_service.cpp.o"
+  "CMakeFiles/netco_core.dir/compare_service.cpp.o.d"
+  "CMakeFiles/netco_core.dir/hub.cpp.o"
+  "CMakeFiles/netco_core.dir/hub.cpp.o.d"
+  "CMakeFiles/netco_core.dir/legacy_combiner.cpp.o"
+  "CMakeFiles/netco_core.dir/legacy_combiner.cpp.o.d"
+  "CMakeFiles/netco_core.dir/middlebox.cpp.o"
+  "CMakeFiles/netco_core.dir/middlebox.cpp.o.d"
+  "CMakeFiles/netco_core.dir/sampling.cpp.o"
+  "CMakeFiles/netco_core.dir/sampling.cpp.o.d"
+  "libnetco_core.a"
+  "libnetco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

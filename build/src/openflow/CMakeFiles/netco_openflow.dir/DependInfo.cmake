@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/action.cpp" "src/openflow/CMakeFiles/netco_openflow.dir/action.cpp.o" "gcc" "src/openflow/CMakeFiles/netco_openflow.dir/action.cpp.o.d"
+  "/root/repo/src/openflow/channel.cpp" "src/openflow/CMakeFiles/netco_openflow.dir/channel.cpp.o" "gcc" "src/openflow/CMakeFiles/netco_openflow.dir/channel.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/openflow/CMakeFiles/netco_openflow.dir/flow_table.cpp.o" "gcc" "src/openflow/CMakeFiles/netco_openflow.dir/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/openflow/CMakeFiles/netco_openflow.dir/match.cpp.o" "gcc" "src/openflow/CMakeFiles/netco_openflow.dir/match.cpp.o.d"
+  "/root/repo/src/openflow/switch.cpp" "src/openflow/CMakeFiles/netco_openflow.dir/switch.cpp.o" "gcc" "src/openflow/CMakeFiles/netco_openflow.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/netco_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/netco_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_openflow.dir/action.cpp.o"
+  "CMakeFiles/netco_openflow.dir/action.cpp.o.d"
+  "CMakeFiles/netco_openflow.dir/channel.cpp.o"
+  "CMakeFiles/netco_openflow.dir/channel.cpp.o.d"
+  "CMakeFiles/netco_openflow.dir/flow_table.cpp.o"
+  "CMakeFiles/netco_openflow.dir/flow_table.cpp.o.d"
+  "CMakeFiles/netco_openflow.dir/match.cpp.o"
+  "CMakeFiles/netco_openflow.dir/match.cpp.o.d"
+  "CMakeFiles/netco_openflow.dir/switch.cpp.o"
+  "CMakeFiles/netco_openflow.dir/switch.cpp.o.d"
+  "libnetco_openflow.a"
+  "libnetco_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_scenario.dir/case_study.cpp.o"
+  "CMakeFiles/netco_scenario.dir/case_study.cpp.o.d"
+  "CMakeFiles/netco_scenario.dir/scenarios.cpp.o"
+  "CMakeFiles/netco_scenario.dir/scenarios.cpp.o.d"
+  "libnetco_scenario.a"
+  "libnetco_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetco_scenario.a"
+)

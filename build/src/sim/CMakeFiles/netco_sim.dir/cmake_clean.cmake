@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_sim.dir/simulator.cpp.o"
+  "CMakeFiles/netco_sim.dir/simulator.cpp.o.d"
+  "libnetco_sim.a"
+  "libnetco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

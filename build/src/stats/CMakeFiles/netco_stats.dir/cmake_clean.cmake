@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_stats.dir/table.cpp.o"
+  "CMakeFiles/netco_stats.dir/table.cpp.o.d"
+  "libnetco_stats.a"
+  "libnetco_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

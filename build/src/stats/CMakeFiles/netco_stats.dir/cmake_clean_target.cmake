@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetco_stats.a"
+)

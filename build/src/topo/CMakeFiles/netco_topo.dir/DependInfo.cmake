@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fattree.cpp" "src/topo/CMakeFiles/netco_topo.dir/fattree.cpp.o" "gcc" "src/topo/CMakeFiles/netco_topo.dir/fattree.cpp.o.d"
+  "/root/repo/src/topo/figure3.cpp" "src/topo/CMakeFiles/netco_topo.dir/figure3.cpp.o" "gcc" "src/topo/CMakeFiles/netco_topo.dir/figure3.cpp.o.d"
+  "/root/repo/src/topo/inband.cpp" "src/topo/CMakeFiles/netco_topo.dir/inband.cpp.o" "gcc" "src/topo/CMakeFiles/netco_topo.dir/inband.cpp.o.d"
+  "/root/repo/src/topo/virtual_overlay.cpp" "src/topo/CMakeFiles/netco_topo.dir/virtual_overlay.cpp.o" "gcc" "src/topo/CMakeFiles/netco_topo.dir/virtual_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netco/CMakeFiles/netco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/netco_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/netco_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/iproute/CMakeFiles/netco_iproute.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/netco_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/netco_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/netco_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

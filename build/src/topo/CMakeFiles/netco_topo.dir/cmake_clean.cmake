@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netco_topo.dir/fattree.cpp.o"
+  "CMakeFiles/netco_topo.dir/fattree.cpp.o.d"
+  "CMakeFiles/netco_topo.dir/figure3.cpp.o"
+  "CMakeFiles/netco_topo.dir/figure3.cpp.o.d"
+  "CMakeFiles/netco_topo.dir/inband.cpp.o"
+  "CMakeFiles/netco_topo.dir/inband.cpp.o.d"
+  "CMakeFiles/netco_topo.dir/virtual_overlay.cpp.o"
+  "CMakeFiles/netco_topo.dir/virtual_overlay.cpp.o.d"
+  "libnetco_topo.a"
+  "libnetco_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netco_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

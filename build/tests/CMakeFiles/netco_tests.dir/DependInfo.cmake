@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary_test.cpp" "tests/CMakeFiles/netco_tests.dir/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/adversary_test.cpp.o.d"
+  "/root/repo/tests/alternatives_test.cpp" "tests/CMakeFiles/netco_tests.dir/alternatives_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/alternatives_test.cpp.o.d"
+  "/root/repo/tests/arp_test.cpp" "tests/CMakeFiles/netco_tests.dir/arp_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/arp_test.cpp.o.d"
+  "/root/repo/tests/combiner_test.cpp" "tests/CMakeFiles/netco_tests.dir/combiner_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/combiner_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/netco_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/compare_core_test.cpp" "tests/CMakeFiles/netco_tests.dir/compare_core_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/compare_core_test.cpp.o.d"
+  "/root/repo/tests/compare_service_test.cpp" "tests/CMakeFiles/netco_tests.dir/compare_service_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/compare_service_test.cpp.o.d"
+  "/root/repo/tests/controller_test.cpp" "tests/CMakeFiles/netco_tests.dir/controller_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/controller_test.cpp.o.d"
+  "/root/repo/tests/fattree_test.cpp" "tests/CMakeFiles/netco_tests.dir/fattree_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/fattree_test.cpp.o.d"
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/netco_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/iproute_test.cpp" "tests/CMakeFiles/netco_tests.dir/iproute_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/iproute_test.cpp.o.d"
+  "/root/repo/tests/link_test.cpp" "tests/CMakeFiles/netco_tests.dir/link_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/link_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/netco_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/openflow_test.cpp" "tests/CMakeFiles/netco_tests.dir/openflow_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/openflow_test.cpp.o.d"
+  "/root/repo/tests/property_e2e_test.cpp" "tests/CMakeFiles/netco_tests.dir/property_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/property_e2e_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/netco_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/netco_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/netco_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/netco_tests.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/tcp_test.cpp.o.d"
+  "/root/repo/tests/virtual_overlay_test.cpp" "tests/CMakeFiles/netco_tests.dir/virtual_overlay_test.cpp.o" "gcc" "tests/CMakeFiles/netco_tests.dir/virtual_overlay_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/netco_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/netco_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netco_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/netco_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/netco/CMakeFiles/netco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/netco_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/iproute/CMakeFiles/netco_iproute.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/netco_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/netco_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/netco_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netco_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
