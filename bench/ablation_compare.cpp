@@ -305,6 +305,7 @@ void ablation_inband() {
 int main() {
   bench::print_header("Ablations",
                       "Design-choice sweeps for the compare element.");
+  bench::ObsSession obs_session;
   ablation_modes();
   ablation_hold_timeout();
   ablation_cache_capacity();
@@ -312,5 +313,6 @@ int main() {
   ablation_detection_mode();
   ablation_sampling();
   ablation_inband();
+  obs_session.dump_metrics("ablations");
   return 0;
 }

@@ -7,14 +7,19 @@
 // the reproduction target.
 //
 // Env knobs:
-//   NETCO_BENCH_QUICK=1  — minimal runs (CI smoke)
-//   NETCO_BENCH_FULL=1   — the paper's full methodology (10+10 × 10 s)
+//   NETCO_BENCH_QUICK=1   — minimal runs (CI smoke)
+//   NETCO_BENCH_FULL=1    — the paper's full methodology (10+10 × 10 s)
+//   NETCO_TRACE_OUT=path  — enable the packet-lifecycle trace, JSONL to path
+//   NETCO_METRICS_OUT=path — write the metrics snapshot there (default:
+//                            one JSON line on stdout after the table)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "obs/observability.h"
 #include "scenario/scenarios.h"
 #include "stats/table.h"
 
@@ -47,5 +52,49 @@ struct BenchScale {
 inline void print_header(const char* figure, const char* caption) {
   std::printf("\n=== NetCo reproduction — %s ===\n%s\n\n", figure, caption);
 }
+
+/// Per-bench observability session: installs the JSONL trace sink when
+/// NETCO_TRACE_OUT names a file (tracing stays disabled otherwise) and
+/// dumps the metrics registry as machine-readable JSON at the end.
+///
+/// Construct one right after print_header() and call dump_metrics() after
+/// the table — every figure bench then produces a metrics dump next to its
+/// human-readable output.
+class ObsSession {
+ public:
+  ObsSession() : trace_sink_(obs::trace_sink_from_env()) {
+    obs::global().metrics.reset();
+    if (trace_sink_ != nullptr) {
+      obs::global().tracer.set_sink(trace_sink_.get());
+    }
+  }
+
+  ~ObsSession() {
+    if (trace_sink_ != nullptr) obs::global().tracer.set_sink(nullptr);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes {"bench":<name>,"metrics":{...}} to NETCO_METRICS_OUT (one
+  /// line, parseable JSON) or, when unset, to stdout.
+  void dump_metrics(const char* bench_name) const {
+    const std::string line = std::string("{\"bench\":\"") + bench_name +
+                             "\",\"metrics\":" +
+                             obs::global().metrics.to_json() + "}";
+    if (const char* path = std::getenv("NETCO_METRICS_OUT");
+        path != nullptr && *path != '\0') {
+      if (std::FILE* f = std::fopen(path, "w")) {
+        std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+        return;
+      }
+    }
+    std::printf("\n%s\n", line.c_str());
+  }
+
+ private:
+  std::unique_ptr<obs::JsonlFileSink> trace_sink_;
+};
 
 }  // namespace netco::bench

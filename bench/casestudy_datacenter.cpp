@@ -12,6 +12,7 @@ int main() {
       "Case study §VI (datacenter routing attack)",
       "Malicious aggregation switch mirrors fw1-bound traffic to a core "
       "switch and drops vm1-bound replies; 10 ICMP echo cycles vm1 → fw1.");
+  bench::ObsSession obs_session;
 
   stats::TablePrinter table({"scenario", "sent", "req@fw1 (paper)",
                              "replies@vm1 (paper)", "mirrored@core", "stray",
@@ -47,5 +48,6 @@ int main() {
       "\nPaper narrative reproduced: the attack doubles requests at fw1 and\n"
       "silences vm1; inside NetCo the mirrored copies arrive at the compare\n"
       "but never leave it, and 2-of-3 reply copies still win the vote.\n");
+  obs_session.dump_metrics("casestudy");
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
       "Figure 4 (TCP throughput)",
       "iperf-style bulk TCP, direction alternating per run; receiver-side "
       "goodput.");
+  bench::ObsSession obs_session;
 
   // Table I row (POX3 is shown in the figure but not the table; the paper
   // text calls it \"comparatively poor\").
@@ -33,5 +34,6 @@ int main() {
   std::printf(
       "\nShape checks: Linespeed dominates; Central3 > Dup3-class collapse;\n"
       "k=5 below k=3; POX3 far below Central3.\n");
+  obs_session.dump_metrics("fig4");
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
   bench::print_header(
       "Figure 5 (UDP max throughput, loss < 0.5%)",
       "Offered rate bisected until the highest rate within the loss bound.");
+  bench::ObsSession obs_session;
 
   const double paper[] = {278, 266, 149, 245, 156, -1};
 
@@ -31,5 +32,6 @@ int main() {
   std::printf(
       "\nShape checks: UDP approximates Linespeed far better than TCP does\n"
       "(connectionless, no congestion reaction); Dup3 ~ Central3 >> k=5.\n");
+  obs_session.dump_metrics("fig5");
   return 0;
 }

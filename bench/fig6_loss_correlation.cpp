@@ -12,6 +12,7 @@ int main() {
       "Figure 6 (throughput vs loss, Central3)",
       "Offered UDP load swept across the compare's capacity; goodput "
       "saturates while loss takes off — the paper's correlation plot.");
+  bench::ObsSession obs_session;
 
   stats::TablePrinter table(
       {"offered Mb/s", "goodput Mb/s", "loss %", "jitter ms"});
@@ -30,5 +31,6 @@ int main() {
   std::printf(
       "\nShape check: goodput tracks offered load until the compare "
       "saturates\n(~245 Mb/s), then plateaus while loss climbs steeply.\n");
+  obs_session.dump_metrics("fig6");
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   bench::print_header(
       "Figure 7 (ping RTT)",
       "Average of sequences of 50 consecutive ICMP echo cycles.");
+  bench::ObsSession obs_session;
 
   const double paper_avg[] = {0.181, 0.189, 0.26, 0.319, 0.415, -1};
 
@@ -49,5 +50,6 @@ int main() {
       "\nShape checks: RTT grows Linespeed < Dup3 < Dup5 < Central3 < "
       "Central5 << POX3\n(the compare detour costs more than destination "
       "buffering; the controller\npipe costs most of all).\n");
+  obs_session.dump_metrics("fig7");
   return 0;
 }

@@ -17,6 +17,7 @@ int main() {
       "Figure 8 (jitter vs datagram size)",
       "UDP at a fixed 10 Mb/s offered rate; RFC 3550 smoothed jitter at "
       "the sink. Cells: jitter in ms.");
+  bench::ObsSession obs_session;
 
   const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1470};
   std::vector<std::string> headers = {"scenario"};
@@ -44,5 +45,6 @@ int main() {
       "\nShape checks: jitter falls as datagrams grow; the combiner "
       "scenarios pay\nthe largest small-packet penalty (queueing at the "
       "compare plus cache churn).\n");
+  obs_session.dump_metrics("fig8");
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
   bench::print_header(
       "Table I (average measurement results)",
       "All three metrics per scenario; paper values in parentheses.");
+  bench::ObsSession obs_session;
 
   struct PaperRow {
     double tcp, udp, rtt;
@@ -50,5 +51,6 @@ int main() {
       "\nSecurity comes at a price (paper §V-B): every combiner scenario "
       "trades\nthroughput/latency for integrity, k=5 costs more than k=3, "
       "and combining\nrecovers much of what naive duplication loses.\n");
+  obs_session.dump_metrics("table1");
   return 0;
 }

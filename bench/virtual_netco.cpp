@@ -75,6 +75,7 @@ int main() {
       "§VII (virtualized NetCo)",
       "Flow split over k vendor-disjoint tunnels; inband tag-keyed compare "
       "at the trusted egress. Hardware cost vs the physical combiner:");
+  bench::ObsSession obs_session;
 
   stats::TablePrinter cost({"architecture", "extra untrusted routers",
                             "extra trusted boxes", "uses existing paths"});
@@ -110,5 +111,6 @@ int main() {
       "\nThe overlay preserves the combiner guarantees (a corrupting path "
       "changes\nnothing for the receiver) at zero additional router "
       "hardware — the paper's\ncost argument for virtualization.\n");
+  obs_session.dump_metrics("virtual_netco");
   return 0;
 }

@@ -21,11 +21,19 @@ void Channel::send(net::Packet packet) {
   if (queued_bytes_ + packet.size() > config_.queue_bytes) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += packet.size();
+    drop_counter_->inc();
+    obs::Tracer& tracer = obs_->tracer;
+    if (tracer.enabled()) {
+      tracer.emit(simulator_.now().ns(), obs::TraceEvent::kLinkDrop,
+                  packet.content_hash(), "link", -1,
+                  static_cast<std::uint32_t>(packet.size()));
+    }
     return;
   }
   queued_bytes_ += packet.size();
   stats_.max_queue_bytes =
       std::max<std::uint64_t>(stats_.max_queue_bytes, queued_bytes_);
+  queue_depth_->observe(static_cast<double>(queued_bytes_));
   queue_.push_back(std::move(packet));
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/units.h"
 #include "net/packet.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -50,7 +51,12 @@ class Channel {
   using DeliverFn = std::function<void(net::Packet)>;
 
   Channel(sim::Simulator& simulator, LinkConfig config)
-      : simulator_(simulator), config_(config) {}
+      : simulator_(simulator),
+        config_(config),
+        obs_(&obs::global()),
+        queue_depth_(&obs_->metrics.histogram(
+            "link.queue_depth_bytes", obs::default_queue_depth_buckets())),
+        drop_counter_(&obs_->metrics.counter("link.dropped_packets")) {}
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -84,6 +90,9 @@ class Channel {
 
   sim::Simulator& simulator_;
   LinkConfig config_;
+  obs::Observability* obs_;
+  obs::Histogram* queue_depth_;   ///< "link.queue_depth_bytes"
+  obs::Counter* drop_counter_;    ///< "link.dropped_packets"
   DeliverFn sink_;
   std::deque<net::Packet> queue_;
   std::size_t queued_bytes_ = 0;

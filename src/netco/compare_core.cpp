@@ -8,7 +8,12 @@
 
 namespace netco::core {
 
-CompareCore::CompareCore(CompareConfig config) : config_(config) {
+CompareCore::CompareCore(CompareConfig config)
+    : config_(config),
+      obs_(&obs::global()),
+      verdict_latency_(&obs_->metrics.histogram("compare.verdict_latency_us")),
+      released_counter_(&obs_->metrics.counter("compare.released")),
+      ingested_counter_(&obs_->metrics.counter("compare.ingested")) {
   NETCO_ASSERT_MSG(config_.k >= 1 && config_.k <= 63,
                    "k must fit the replica bitmask");
   const auto n = static_cast<std::size_t>(config_.k);
@@ -51,6 +56,14 @@ bool CompareCore::same_packet(const net::Packet& a,
   return false;
 }
 
+void CompareCore::trace(obs::TraceEvent event, const net::Packet& packet,
+                        sim::TimePoint now, int replica) {
+  obs::Tracer& tracer = obs_->tracer;
+  if (!tracer.enabled()) [[likely]] return;
+  tracer.emit(now.ns(), event, packet.content_hash(), trace_label_, replica,
+              static_cast<std::uint32_t>(packet.size()));
+}
+
 void CompareCore::flag_block(int replica) {
   if (flagged_block_[static_cast<std::size_t>(replica)]) return;
   flagged_block_[static_cast<std::size_t>(replica)] = true;
@@ -75,10 +88,17 @@ void CompareCore::note_garbage(int replica, sim::TimePoint now) {
 
 std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
                                                sim::TimePoint now) {
-  NETCO_ASSERT(replica >= 0 && replica < config_.k);
+  if (replica < 0 || replica >= config_.k) {
+    // A packet-in from an unregistered port (or a buggy deployment layer)
+    // must not shift 1 << replica past the mask — reject, don't corrupt.
+    ++stats_.rejected_replica;
+    return std::nullopt;
+  }
   ++stats_.ingested;
+  ingested_counter_->inc();
   last_cleanup_work_ = 0;
   note_arrival(replica, now);
+  trace(obs::TraceEvent::kCompareIngest, packet, now, replica);
 
   // Find the entry for this packet. Hash collisions between *different*
   // packets are resolved by probing a perturbed key — deterministic, so
@@ -112,6 +132,9 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     std::optional<net::Packet> released;
     if (release_now) {
       ++stats_.released;
+      released_counter_->inc();
+      verdict_latency_->observe(0.0);
+      trace(obs::TraceEvent::kCompareRelease, entry.exemplar, now, replica);
       released = entry.exemplar;
     }
 
@@ -132,6 +155,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     // Same replica, same packet again: §IV case 2 (DoS signature).
     ++stats_.duplicates_same_port;
     note_garbage(replica, now);
+    trace(obs::TraceEvent::kCompareDuplicate, entry.exemplar, now, replica);
     return std::nullopt;
   }
 
@@ -145,6 +169,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
 
   if (entry.released) {
     ++stats_.late_after_release;
+    trace(obs::TraceEvent::kCompareLate, entry.exemplar, now, replica);
     if (entry.contributions == config_.k && !config_.retain_completed) {
       finalize(entry);
       erase_entry(key);
@@ -156,6 +181,9 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
       entry.contributions >= config_.quorum()) {
     entry.released = true;
     ++stats_.released;
+    released_counter_->inc();
+    verdict_latency_->observe((now - entry.first_seen).us());
+    trace(obs::TraceEvent::kCompareRelease, entry.exemplar, now, replica);
     net::Packet released = entry.exemplar;
     if (entry.contributions == config_.k && !config_.retain_completed) {
       finalize(entry);
@@ -213,9 +241,18 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
       if (config_.policy == ReleasePolicy::kFirstCopy &&
           entry.contributions < config_.k) {
         ++stats_.mismatch_detected;  // detection mode: partner disagreed
+        // Attribute the disagreement: every replica that failed to confirm
+        // the released packet is a suspect (§IV detection).
+        for (int r = 0; r < config_.k; ++r) {
+          if (!(entry.replica_mask & (1ULL << static_cast<unsigned>(r)))) {
+            trace(obs::TraceEvent::kCompareMismatch, entry.exemplar, now, r);
+          }
+        }
       }
     } else {
       ++stats_.evicted_timeout;  // §IV case 1: minority packet, never sent
+      trace(obs::TraceEvent::kCompareEvictTimeout, entry.exemplar, now,
+            entry.contributions == 1 ? entry.first_replica : -1);
       if (entry.contributions == 1) {
         // A singleton that nobody confirmed is attributable garbage.
         note_garbage(entry.first_replica, now);
@@ -239,6 +276,8 @@ void CompareCore::capacity_cleanup(sim::TimePoint now) {
       finalize(entry);
     } else {
       ++stats_.evicted_capacity;
+      trace(obs::TraceEvent::kCompareEvictCapacity, entry.exemplar, now,
+            entry.contributions == 1 ? entry.first_replica : -1);
       if (entry.contributions == 1) {
         // A singleton squeezed out under memory pressure is just as
         // attributable as one that timed out — the garbage monitor must
@@ -262,6 +301,7 @@ void CompareCore::quota_evict(int replica, sim::TimePoint now) {
     if (!entry.released && entry.contributions == 1 &&
         entry.first_replica == replica) {
       ++stats_.evicted_quota;
+      trace(obs::TraceEvent::kCompareEvictQuota, entry.exemplar, now, replica);
       note_garbage(replica, now);
       erase_entry(*age_it);
       return;

@@ -32,10 +32,12 @@
 #include <deque>
 #include <list>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/observability.h"
 #include "sim/time.h"
 
 namespace netco::core {
@@ -108,6 +110,7 @@ struct CompareStats {
   std::uint64_t evicted_quota = 0;        ///< per-replica isolation victims
   std::uint64_t cleanup_passes = 0;
   std::uint64_t mismatch_detected = 0;    ///< kFirstCopy disagreements
+  std::uint64_t rejected_replica = 0;     ///< ingests with replica ∉ [0,k)
   std::size_t cache_entries = 0;          ///< current occupancy
   std::size_t max_cache_entries = 0;
 };
@@ -127,7 +130,9 @@ class CompareCore {
 
   /// Feeds one packet received from `replica` (0-based) at time `now`.
   /// Returns the packet to release downstream, if this arrival completed a
-  /// quorum (or, under kFirstCopy, if it is the first copy).
+  /// quorum (or, under kFirstCopy, if it is the first copy). A replica
+  /// index outside [0, k) is rejected (counted in stats().rejected_replica)
+  /// instead of corrupting the vote bitmask.
   std::optional<net::Packet> ingest(int replica, net::Packet packet,
                                     sim::TimePoint now);
 
@@ -149,6 +154,13 @@ class CompareCore {
 
   /// The configuration in force.
   [[nodiscard]] const CompareConfig& config() const noexcept { return config_; }
+
+  /// Component name stamped on this core's trace records ("compare" by
+  /// default; deployments use "compare/<edge>" to tell edges apart).
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  [[nodiscard]] const std::string& trace_label() const noexcept {
+    return trace_label_;
+  }
 
  private:
   struct Entry {
@@ -173,10 +185,18 @@ class CompareCore {
   void note_arrival(int replica, sim::TimePoint now);
   void note_garbage(int replica, sim::TimePoint now);
   void flag_block(int replica);
+  /// Emits one lifecycle record (no-op when tracing is disabled).
+  void trace(obs::TraceEvent event, const net::Packet& packet,
+             sim::TimePoint now, int replica);
 
   CompareConfig config_;
   CompareStats stats_;
   std::size_t last_cleanup_work_ = 0;
+  std::string trace_label_ = "compare";
+  obs::Observability* obs_;           ///< global context, cached
+  obs::Histogram* verdict_latency_;   ///< "compare.verdict_latency_us"
+  obs::Counter* released_counter_;    ///< "compare.released"
+  obs::Counter* ingested_counter_;    ///< "compare.ingested"
 
   // key → entry. Collisions across *different* packets with equal keys are
   // resolved by same_packet() refusing to merge; the colliding packet is

@@ -10,7 +10,12 @@ namespace netco::core {
 
 void CompareService::configure_edge(const std::string& switch_name,
                                     EdgeConfig config) {
-  edges_.emplace(switch_name, EdgeState(std::move(config)));
+  const auto [it, inserted] =
+      edges_.emplace(switch_name, EdgeState(std::move(config)));
+  if (inserted) {
+    // Disambiguates trace records when several edges share one process.
+    it->second.core.set_trace_label("compare/" + switch_name);
+  }
 }
 
 void CompareService::on_attached(controller::Controller& controller,

@@ -7,11 +7,27 @@ namespace netco::core {
 void Hub::handle_packet(device::PortIndex in_port, net::Packet packet) {
   simulator().schedule_after(delay_, [this, in_port,
                                       p = std::move(packet)]() mutable {
+    obs::Tracer& tracer = obs_->tracer;
     if (in_port == 0) {
       ++split_;
+      split_counter_->inc();
+      const std::size_t copies = port_count() > 0 ? port_count() - 1 : 0;
+      fanout_counter_->inc(copies);
+      if (tracer.enabled()) {
+        tracer.emit(simulator().now().ns(), obs::TraceEvent::kHubIngress,
+                    p.content_hash(), name(), -1,
+                    static_cast<std::uint32_t>(p.size()));
+      }
       flood(0, p);  // copy to every non-upstream port
     } else {
       ++merged_;
+      merge_counter_->inc();
+      if (tracer.enabled()) {
+        tracer.emit(simulator().now().ns(), obs::TraceEvent::kHubMerge,
+                    p.content_hash(), name(),
+                    static_cast<std::int32_t>(in_port) - 1,
+                    static_cast<std::uint32_t>(p.size()));
+      }
       send(0, std::move(p));
     }
   });

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "device/node.h"
+#include "obs/observability.h"
 #include "openflow/switch.h"
 #include "sim/time.h"
 
@@ -26,7 +27,12 @@ class Hub : public device::Node {
  public:
   Hub(sim::Simulator& simulator, std::string name,
       sim::Duration processing_delay = sim::Duration::nanoseconds(500))
-      : Node(simulator, std::move(name)), delay_(processing_delay) {}
+      : Node(simulator, std::move(name)),
+        delay_(processing_delay),
+        obs_(&obs::global()),
+        split_counter_(&obs_->metrics.counter("hub.split")),
+        merge_counter_(&obs_->metrics.counter("hub.merge")),
+        fanout_counter_(&obs_->metrics.counter("hub.copies_out")) {}
 
   void handle_packet(device::PortIndex in_port, net::Packet packet) override;
 
@@ -39,6 +45,10 @@ class Hub : public device::Node {
   sim::Duration delay_;
   std::uint64_t split_ = 0;
   std::uint64_t merged_ = 0;
+  obs::Observability* obs_;
+  obs::Counter* split_counter_;
+  obs::Counter* merge_counter_;
+  obs::Counter* fanout_counter_;
 };
 
 /// Realizes the hub as flow rules on a trusted OpenFlow switch: every

@@ -1,0 +1,18 @@
+#include "obs/observability.h"
+
+#include <cstdlib>
+
+namespace netco::obs {
+
+Observability& global() noexcept {
+  static Observability instance;
+  return instance;
+}
+
+std::unique_ptr<JsonlFileSink> trace_sink_from_env() {
+  const char* path = std::getenv("NETCO_TRACE_OUT");
+  if (path == nullptr || *path == '\0') return nullptr;
+  return std::make_unique<JsonlFileSink>(path);
+}
+
+}  // namespace netco::obs

@@ -1,0 +1,49 @@
+// Process-global observability context: one Tracer + one MetricsRegistry.
+//
+// The simulator is single-threaded and benches/tests run one simulation at
+// a time, so a process-global context keeps the wiring trivial: components
+// grab their instruments at construction and the Tracer's null-sink check
+// is the entire disabled-path cost. Tests install a RingBufferSink via the
+// RAII ScopedTraceSink; benches install a JSONL sink when NETCO_TRACE_OUT
+// names a file (see trace_sink_from_env()).
+#pragma once
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace netco::obs {
+
+/// The observability context.
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+/// The process-global context.
+[[nodiscard]] Observability& global() noexcept;
+
+/// Installs `sink` on the global tracer for the current scope, restoring
+/// the previous sink (usually none) on destruction.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink& sink) noexcept
+      : previous_(global().tracer.sink()) {
+    global().tracer.set_sink(&sink);
+  }
+  ~ScopedTraceSink() { global().tracer.set_sink(previous_); }
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
+
+/// Builds a JSONL file sink from the NETCO_TRACE_OUT environment variable;
+/// nullptr when the variable is unset (tracing stays disabled). The caller
+/// owns the sink and must install it on global().tracer.
+[[nodiscard]] std::unique_ptr<JsonlFileSink> trace_sink_from_env();
+
+}  // namespace netco::obs

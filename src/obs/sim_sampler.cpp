@@ -1,0 +1,36 @@
+#include "obs/sim_sampler.h"
+
+namespace netco::obs {
+
+SimulatorSampler::SimulatorSampler(sim::Simulator& simulator,
+                                   sim::Duration period,
+                                   Observability* context)
+    : simulator_(simulator),
+      period_(period),
+      pending_depth_((context != nullptr ? *context : global())
+                         .metrics.histogram("sim.events_pending",
+                                            default_queue_depth_buckets())),
+      executed_((context != nullptr ? *context : global())
+                    .metrics.counter("sim.events_executed")),
+      sample_count_((context != nullptr ? *context : global())
+                        .metrics.counter("sim.samples")) {}
+
+void SimulatorSampler::start() {
+  stop();
+  last_executed_ = simulator_.events_executed();
+  handle_ = simulator_.schedule_after(period_, [this] { tick(); });
+}
+
+void SimulatorSampler::stop() noexcept { handle_.cancel(); }
+
+void SimulatorSampler::tick() {
+  pending_depth_.observe(static_cast<double>(simulator_.events_pending()));
+  const std::uint64_t executed = simulator_.events_executed();
+  executed_.inc(executed - last_executed_);
+  last_executed_ = executed;
+  sample_count_.inc();
+  ++samples_;
+  handle_ = simulator_.schedule_after(period_, [this] { tick(); });
+}
+
+}  // namespace netco::obs

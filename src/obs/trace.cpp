@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace netco::obs {
+
+const char* to_string(TraceEvent event) noexcept {
+  switch (event) {
+    case TraceEvent::kHubIngress: return "hub.ingress";
+    case TraceEvent::kHubMerge: return "hub.merge";
+    case TraceEvent::kReplicaForward: return "replica.forward";
+    case TraceEvent::kCompareIngest: return "compare.ingest";
+    case TraceEvent::kCompareRelease: return "compare.release";
+    case TraceEvent::kCompareEvictTimeout: return "compare.evict_timeout";
+    case TraceEvent::kCompareEvictCapacity: return "compare.evict_capacity";
+    case TraceEvent::kCompareEvictQuota: return "compare.evict_quota";
+    case TraceEvent::kCompareDuplicate: return "compare.duplicate";
+    case TraceEvent::kCompareLate: return "compare.late";
+    case TraceEvent::kCompareMismatch: return "compare.mismatch";
+    case TraceEvent::kLinkDrop: return "link.drop";
+  }
+  return "unknown";
+}
+
+std::string to_json(const TraceRecord& record) {
+  // %016llx keeps packet ids fixed-width so streams diff cleanly.
+  char head[160];
+  const int n = std::snprintf(
+      head, sizeof head,
+      "{\"t\":%lld,\"ev\":\"%s\",\"pkt\":\"%016llx\",\"replica\":%d,"
+      "\"bytes\":%u,\"src\":\"",
+      static_cast<long long>(record.at_ns), to_string(record.event),
+      static_cast<unsigned long long>(record.packet_id), record.replica,
+      record.bytes);
+  std::string out(head, static_cast<std::size_t>(n));
+  out += record.component;  // component names are plain identifiers
+  out += "\"}";
+  return out;
+}
+
+void RingBufferSink::append(const TraceRecord& record) {
+  ++appended_;
+  if (records_.size() == capacity_) records_.pop_front();
+  records_.push_back(record);
+}
+
+std::string RingBufferSink::serialize() const {
+  std::string out;
+  for (const auto& record : records_) {
+    out += to_json(record);
+    out += '\n';
+  }
+  return out;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::append(const TraceRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = to_json(record);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++lines_;
+}
+
+void Tracer::emit_slow(std::int64_t at_ns, TraceEvent event,
+                       std::uint64_t packet_id, std::string_view component,
+                       std::int32_t replica, std::uint32_t bytes) {
+  TraceRecord record;
+  record.at_ns = at_ns;
+  record.event = event;
+  record.packet_id = packet_id;
+  record.replica = replica;
+  record.bytes = bytes;
+  record.component.assign(component.data(), component.size());
+  sink_->append(record);
+}
+
+}  // namespace netco::obs

@@ -1,0 +1,144 @@
+// Packet-lifecycle tracing (ROADMAP observability layer).
+//
+// Every trusted component emits structured records as a packet moves
+// through the combiner pipeline:
+//
+//   hub.ingress → replica[i].forward → compare.{release, evict_timeout,
+//   evict_capacity, evict_quota, duplicate, late, mismatch}
+//
+// Records are keyed by a *stable packet id* — the FNV-1a content hash of
+// the wire bytes — so the k copies a hub multiplies share one id and the
+// compare's verdict can be joined against the hub ingress that started the
+// lifecycle. The simulator is bit-reproducible (same seed → identical
+// event order), so the serialized trace stream is itself a deterministic
+// artifact: the golden-trace tests byte-compare whole runs.
+//
+// Cost model: the Tracer's disabled path is a single pointer null-check —
+// no record construction, no string materialization, no sink virtual call.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace netco::obs {
+
+/// The lifecycle stages a packet can be traced through.
+enum class TraceEvent : std::uint8_t {
+  kHubIngress,           ///< trusted splitter multiplied an upstream packet
+  kHubMerge,             ///< trusted splitter merged a downstream packet
+  kReplicaForward,       ///< an (untrusted) switch transmitted the packet
+  kCompareIngest,        ///< compare received a copy from replica[i]
+  kCompareRelease,       ///< terminal: quorum reached, one copy released
+  kCompareEvictTimeout,  ///< terminal: minority packet timed out (§IV case 1)
+  kCompareEvictCapacity, ///< terminal: cleanup-pass victim
+  kCompareEvictQuota,    ///< terminal: per-replica isolation victim
+  kCompareDuplicate,     ///< same replica re-sent the packet (§IV case 2)
+  kCompareLate,          ///< copy arrived after the release (never re-released)
+  kCompareMismatch,      ///< kFirstCopy: replica[i] failed to confirm (§IV)
+  kLinkDrop,             ///< drop-tail queue overflow
+};
+
+/// Stable lowercase name ("compare.release", ...) used in the JSON export.
+[[nodiscard]] const char* to_string(TraceEvent event) noexcept;
+
+/// One structured lifecycle record.
+struct TraceRecord {
+  std::int64_t at_ns = 0;        ///< simulated time of the event
+  TraceEvent event{};            ///< lifecycle stage
+  std::uint64_t packet_id = 0;   ///< stable id (content hash of wire bytes)
+  std::int32_t replica = -1;     ///< replica index when attributable, else -1
+  std::uint32_t bytes = 0;       ///< packet size on the wire
+  std::string component;         ///< emitting component ("netco-e0", ...)
+};
+
+/// Canonical single-line JSON rendering (no trailing newline). Field order
+/// and formatting are fixed — golden tests compare these bytes.
+[[nodiscard]] std::string to_json(const TraceRecord& record);
+
+/// Where trace records go.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void append(const TraceRecord& record) = 0;
+};
+
+/// Bounded in-memory sink for tests: keeps the newest `capacity` records.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  void append(const TraceRecord& record) override;
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  /// Total records ever appended (>= records().size() once wrapped).
+  [[nodiscard]] std::uint64_t total_appended() const noexcept {
+    return appended_;
+  }
+  /// The whole buffer as newline-separated canonical JSON — the golden
+  /// stream the determinism tests byte-compare.
+  [[nodiscard]] std::string serialize() const;
+
+  void clear() noexcept {
+    records_.clear();
+    appended_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t appended_ = 0;
+  std::deque<TraceRecord> records_;
+};
+
+/// JSONL file sink for benches (one canonical record per line).
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void append(const TraceRecord& record) override;
+
+  /// False when the file could not be opened (records are then dropped).
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t lines_written() const noexcept {
+    return lines_;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+/// The emit front-end components talk to. Disabled (no sink) by default.
+class Tracer {
+ public:
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+
+  /// Installs (or, with nullptr, removes) the sink. Non-owning.
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
+
+  /// Emits one record; a no-op costing one branch when disabled.
+  void emit(std::int64_t at_ns, TraceEvent event, std::uint64_t packet_id,
+            std::string_view component, std::int32_t replica = -1,
+            std::uint32_t bytes = 0) {
+    if (sink_ == nullptr) [[likely]] return;
+    emit_slow(at_ns, event, packet_id, component, replica, bytes);
+  }
+
+ private:
+  void emit_slow(std::int64_t at_ns, TraceEvent event,
+                 std::uint64_t packet_id, std::string_view component,
+                 std::int32_t replica, std::uint32_t bytes);
+
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace netco::obs

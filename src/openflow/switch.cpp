@@ -11,7 +11,11 @@ namespace netco::openflow {
 
 OpenFlowSwitch::OpenFlowSwitch(sim::Simulator& simulator, std::string name,
                                SwitchProfile profile)
-    : Node(simulator, std::move(name)), profile_(std::move(profile)) {}
+    : Node(simulator, std::move(name)),
+      profile_(std::move(profile)),
+      obs_(&obs::global()),
+      table_hit_counter_(&obs_->metrics.counter("switch.table_hits")),
+      table_miss_counter_(&obs_->metrics.counter("switch.table_misses")) {}
 
 bool OpenFlowSwitch::port_blocked(device::PortIndex port) const noexcept {
   return port < blocked_.size() && blocked_[port];
@@ -49,9 +53,11 @@ void OpenFlowSwitch::pipeline(device::PortIndex in_port, net::Packet packet) {
   FlowEntry* entry = table_.lookup(key, packet.size(), simulator().now());
   if (entry == nullptr) {
     ++stats_.table_misses;
+    table_miss_counter_->inc();
     punt_to_controller(in_port, std::move(packet));
     return;
   }
+  table_hit_counter_->inc();
   apply_actions(in_port, entry->spec.actions, std::move(packet));
 }
 
@@ -125,6 +131,16 @@ void OpenFlowSwitch::count_tx(const net::Packet& packet,
   stats_.tx_bytes += packet.size();
   if (port_tx_.size() <= port) port_tx_.resize(port + 1, 0);
   ++port_tx_[port];
+  obs::Tracer& tracer = obs_->tracer;
+  if (tracer.enabled()) {
+    // Every egress of an (untrusted) switch is a lifecycle hop: the record
+    // places the packet id at this switch at this instant, which is what
+    // makes compare verdicts attributable to a concrete forwarding path.
+    tracer.emit(simulator().now().ns(), obs::TraceEvent::kReplicaForward,
+                packet.content_hash(), name(),
+                static_cast<std::int32_t>(port),
+                static_cast<std::uint32_t>(packet.size()));
+  }
 }
 
 void OpenFlowSwitch::punt_to_controller(device::PortIndex in_port,

@@ -19,6 +19,7 @@
 
 #include "device/datapath.h"
 #include "device/node.h"
+#include "obs/observability.h"
 #include "openflow/flow_table.h"
 #include "openflow/messages.h"
 #include "sim/time.h"
@@ -128,6 +129,9 @@ class OpenFlowSwitch : public device::Node, public device::Datapath {
 
   SwitchProfile profile_;
   FlowTable table_;
+  obs::Observability* obs_;
+  obs::Counter* table_hit_counter_;   ///< "switch.table_hits"
+  obs::Counter* table_miss_counter_;  ///< "switch.table_misses"
   ControlChannel* control_ = nullptr;
   DatapathInterceptor* interceptor_ = nullptr;
   IngressTap tap_;

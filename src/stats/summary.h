@@ -19,7 +19,24 @@ struct Summary {
   double p95 = 0.0;
 };
 
+/// The q-quantile of an ascending-sorted sample, by linear interpolation
+/// between closest ranks (the "R-7" estimator iperf/numpy use): the
+/// quantile sits at fractional rank q·(n−1) and interpolates between the
+/// two neighbouring order statistics.
+inline double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
 /// Computes the summary; an empty input yields an all-zero Summary.
+/// stddev is the sample (n−1) standard deviation — the runs are a sample
+/// of the scenario's run-to-run distribution, not the population.
 inline Summary summarize(std::vector<double> samples) {
   Summary out;
   out.n = samples.size();
@@ -32,14 +49,11 @@ inline Summary summarize(std::vector<double> samples) {
   out.mean = sum / static_cast<double>(samples.size());
   double var = 0.0;
   for (double s : samples) var += (s - out.mean) * (s - out.mean);
-  out.stddev = std::sqrt(var / static_cast<double>(samples.size()));
-  const auto at = [&samples](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1) + 0.5);
-    return samples[std::min(idx, samples.size() - 1)];
-  };
-  out.p50 = at(0.50);
-  out.p95 = at(0.95);
+  out.stddev = samples.size() > 1
+                   ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                   : 0.0;
+  out.p50 = sorted_quantile(samples, 0.50);
+  out.p95 = sorted_quantile(samples, 0.95);
   return out;
 }
 

@@ -7,7 +7,9 @@ namespace netco::topo {
 Figure3Topology::Figure3Topology(Figure3Options options)
     : options_(std::move(options)),
       simulator_(options_.seed),
+      sampler_(simulator_),
       network_(simulator_) {
+  sampler_.start();
   const auto h1_mac = net::MacAddress::from_id(1);
   const auto h2_mac = net::MacAddress::from_id(2);
   h1_ = &network_.add_node<host::Host>("h1", h1_mac,

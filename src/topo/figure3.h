@@ -15,6 +15,7 @@
 #include "host/host.h"
 #include "link/link.h"
 #include "netco/combiner.h"
+#include "obs/sim_sampler.h"
 #include "sim/simulator.h"
 
 namespace netco::topo {
@@ -56,6 +57,9 @@ class Figure3Topology {
  private:
   Figure3Options options_;
   sim::Simulator simulator_;
+  /// Event-loop occupancy sampling ("sim.events_pending" /
+  /// "sim.events_executed" in the global metrics registry).
+  obs::SimulatorSampler sampler_;
   device::Network network_;
   host::Host* h1_ = nullptr;
   host::Host* h2_ = nullptr;

@@ -1,0 +1,99 @@
+// Edge cases of the quorum arithmetic and the ingest guard rails:
+// even k (a strict majority, not a tie), the k=1 degenerate pass-through,
+// and graceful rejection of out-of-range replica indices (a buggy or
+// malicious edge must not be able to corrupt another replica's vote bit).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/headers.h"
+#include "netco/compare_core.h"
+
+namespace netco::core {
+namespace {
+
+net::Packet numbered_packet(std::uint32_t n) {
+  std::vector<std::byte> data(64, std::byte{0});
+  return net::build_udp(
+      net::EthernetHeader{.dst = net::MacAddress::from_id(2),
+                         .src = net::MacAddress::from_id(1)},
+      std::nullopt,
+      net::Ipv4Header{.src = net::Ipv4Address::from_id(1),
+                      .dst = net::Ipv4Address::from_id(2),
+                      .identification = static_cast<std::uint16_t>(n)},
+      net::UdpHeader{.src_port = static_cast<std::uint16_t>(n >> 16),
+                     .dst_port = 5001},
+      data);
+}
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::origin() + sim::Duration::milliseconds(ms);
+}
+
+TEST(QuorumEdge, EvenKRequiresStrictMajority) {
+  CompareConfig c;
+  c.k = 4;
+  EXPECT_EQ(c.quorum(), 3);  // a 2-2 split must not release
+  c.k = 6;
+  EXPECT_EQ(c.quorum(), 4);
+  c.k = 1;
+  EXPECT_EQ(c.quorum(), 1);
+}
+
+TEST(QuorumEdge, EvenKTieDoesNotRelease) {
+  CompareCore core(CompareConfig{.k = 4});
+  const auto p = numbered_packet(1);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(1, p, at_ms(0)).has_value());  // 2 of 4: tie
+  EXPECT_TRUE(core.ingest(2, p, at_ms(0)).has_value());   // 3 of 4: majority
+  EXPECT_EQ(core.stats().released, 1u);
+}
+
+TEST(QuorumEdge, SingleReplicaIsImmediatePassThrough) {
+  // k=1 degenerates to an ordinary unreplicated path: quorum 1, so every
+  // first copy releases immediately with zero verdict latency.
+  CompareCore core(CompareConfig{.k = 1});
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    const auto released = core.ingest(0, numbered_packet(n), at_ms(0));
+    ASSERT_TRUE(released.has_value());
+    EXPECT_EQ(released->content_hash(), numbered_packet(n).content_hash());
+  }
+  EXPECT_EQ(core.stats().released, 4u);
+  core.sweep(at_ms(100));
+  EXPECT_EQ(core.stats().evicted_timeout, 0u);  // nothing left pending
+}
+
+TEST(QuorumEdge, OutOfRangeReplicaRejectedWithoutCorruptingVote) {
+  CompareCore core(CompareConfig{.k = 3});
+  const auto p = numbered_packet(5);
+
+  // Both below-range and at/above-k indices are rejected outright.
+  EXPECT_FALSE(core.ingest(-1, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(3, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(64, p, at_ms(0)).has_value());
+  EXPECT_EQ(core.stats().rejected_replica, 3u);
+  EXPECT_EQ(core.stats().ingested, 0u);  // rejected ≠ ingested
+
+  // The vote state is untouched: the packet still needs a genuine quorum
+  // from in-range replicas, no more and no less.
+  EXPECT_FALSE(core.ingest(0, p, at_ms(1)).has_value());
+  EXPECT_TRUE(core.ingest(2, p, at_ms(1)).has_value());
+  EXPECT_EQ(core.stats().released, 1u);
+  EXPECT_EQ(core.stats().ingested, 2u);
+}
+
+TEST(QuorumEdge, RejectionDoesNotDisturbExistingEntry) {
+  // An out-of-range ingest arriving *mid-vote* must not advance, reset, or
+  // release the pending entry.
+  CompareCore core(CompareConfig{.k = 3});
+  const auto p = numbered_packet(6);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(7, p, at_ms(0)).has_value());  // rejected
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());  // duplicate, no vote
+  EXPECT_TRUE(core.ingest(1, p, at_ms(0)).has_value());   // real second vote
+  EXPECT_EQ(core.stats().rejected_replica, 1u);
+  EXPECT_EQ(core.stats().duplicates_same_port, 1u);
+}
+
+}  // namespace
+}  // namespace netco::core
