@@ -1,0 +1,149 @@
+// Soak: ~10^6 packets through k ∈ {2, 3, 5} combiner circuits under a
+// deterministic fault plan (link churn, loss/latency ramps, replica
+// crashes, byzantine swaps, cache squeezes), with online invariant
+// checking and a same-seed determinism double-run.
+//
+// Verdict (exit status): 0 iff every configuration finished with zero
+// invariant violations AND byte-identical trace/metrics across the two
+// same-seed runs. Writes a machine-readable summary to BENCH_soak.json.
+//
+// Env knobs:
+//   NETCO_SOAK_PACKETS=n  — datagrams offered per configuration run
+//   NETCO_BENCH_QUICK=1   — small CI-sized runs
+//   NETCO_SOAK_OUT=path   — summary path (default BENCH_soak.json)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "netco/compare_core.h"
+#include "scenario/soak.h"
+
+namespace {
+
+struct SoakConfig {
+  const char* name;
+  int k;
+  netco::core::ReleasePolicy policy;
+  /// Offered rate, scaled so k × pps stays below the compare controller's
+  /// packet-in capacity (~80k/s for the c_program profile) — overload
+  /// would drown the fault dynamics in steady-state queue drops.
+  std::uint64_t rate_mbps;
+};
+
+std::uint64_t packets_per_run() {
+  if (const char* env = std::getenv("NETCO_SOAK_PACKETS");
+      env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  if (std::getenv("NETCO_BENCH_QUICK") != nullptr) return 10'000;
+  return 120'000;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netco;
+  using scenario::SoakResult;
+
+  const SoakConfig configs[] = {
+      {"k2-firstcopy", 2, core::ReleasePolicy::kFirstCopy, 24},
+      {"k3-majority", 3, core::ReleasePolicy::kMajority, 16},
+      {"k5-majority", 5, core::ReleasePolicy::kMajority, 10},
+  };
+  const std::uint64_t packets = packets_per_run();
+
+  std::printf("\n=== NetCo soak — fault-injected combiner churn ===\n");
+  std::printf(
+      "%llu datagrams per config, run twice per seed (determinism check).\n\n",
+      static_cast<unsigned long long>(packets));
+
+  bool all_ok = true;
+  std::string json = "{\"bench\":\"soak\",\"packets_per_run\":" +
+                     std::to_string(packets) + ",\"configs\":[";
+
+  bool first = true;
+  for (const SoakConfig& config : configs) {
+    scenario::SoakOptions options;
+    options.k = config.k;
+    options.policy = config.policy;
+    options.seed = 0xDECAFBAD ^ static_cast<std::uint64_t>(config.k);
+    options.packets = packets;
+    options.rate = DataRate::megabits_per_sec(config.rate_mbps);
+
+    const SoakResult a = scenario::run_soak(options);
+    const SoakResult b = scenario::run_soak(options);
+    const bool deterministic = a.stream_hash == b.stream_hash &&
+                               a.metrics_json == b.metrics_json &&
+                               a.trace_records == b.trace_records;
+    const bool ok = a.ok() && b.ok() && deterministic;
+    all_ok = all_ok && ok;
+
+    std::printf(
+        "%-14s sent=%-8llu ingested=%-8llu released=%-8llu "
+        "faults=%llu audits=%llu\n",
+        config.name, static_cast<unsigned long long>(a.datagrams_sent),
+        static_cast<unsigned long long>(a.compare_ingested),
+        static_cast<unsigned long long>(a.compare_released),
+        static_cast<unsigned long long>(a.fault_events_applied),
+        static_cast<unsigned long long>(a.audits));
+    std::printf(
+        "               %.0f pkt/s, verdict latency p50=%.1fus p95=%.1fus "
+        "p99=%.1fus\n",
+        a.throughput_pps, a.verdict_p50_us, a.verdict_p95_us,
+        a.verdict_p99_us);
+    std::printf(
+        "               invariants: %llu checks, %llu violations; "
+        "deterministic=%s  -> %s\n",
+        static_cast<unsigned long long>(a.invariants.checks),
+        static_cast<unsigned long long>(a.invariants.violations),
+        deterministic ? "yes" : "NO", ok ? "OK" : "FAIL");
+    for (const std::string& detail : a.invariants.details) {
+      std::printf("               violation: %s\n", detail.c_str());
+    }
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n{\"name\":\"%s\",\"k\":%d,\"policy\":\"%s\","
+        "\"packets\":%llu,\"ingested\":%llu,\"released\":%llu,"
+        "\"delivered_unique\":%llu,\"throughput_pps\":%.1f,"
+        "\"verdict_latency_us\":{\"p50\":%.2f,\"p95\":%.2f,\"p99\":%.2f},"
+        "\"invariants\":{\"checks\":%llu,\"violations\":%llu},"
+        "\"fault_events_applied\":%llu,\"trace_records\":%llu,"
+        "\"stream_hash\":\"%016llx\",\"deterministic\":%s}",
+        first ? "" : ",", config.name, config.k,
+        config.policy == core::ReleasePolicy::kFirstCopy ? "first_copy"
+                                                         : "majority",
+        static_cast<unsigned long long>(a.datagrams_sent),
+        static_cast<unsigned long long>(a.compare_ingested),
+        static_cast<unsigned long long>(a.compare_released),
+        static_cast<unsigned long long>(a.delivered_unique),
+        a.throughput_pps, a.verdict_p50_us, a.verdict_p95_us,
+        a.verdict_p99_us,
+        static_cast<unsigned long long>(a.invariants.checks),
+        static_cast<unsigned long long>(a.invariants.violations),
+        static_cast<unsigned long long>(a.fault_events_applied),
+        static_cast<unsigned long long>(a.trace_records),
+        static_cast<unsigned long long>(a.stream_hash),
+        deterministic ? "true" : "false");
+    json += buf;
+    first = false;
+  }
+
+  json += "\n],\"verdict\":\"";
+  json += all_ok ? "pass" : "fail";
+  json += "\"}";
+
+  const char* out_path = std::getenv("NETCO_SOAK_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_soak.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("\nSummary written to %s\n", out_path);
+  } else {
+    std::printf("\n%s\n", json.c_str());
+  }
+
+  std::printf("\nSoak verdict: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@ namespace netco::device {
 
 Connection Network::connect(Node& a, Node& b, link::LinkConfig config) {
   auto link = std::make_unique<link::Link>(simulator_, config);
+  link->set_labels(a.name(), b.name());
   Connection conn;
   conn.link = link.get();
   conn.a_port = a.attach_channel(&link->forward());

@@ -1,0 +1,105 @@
+// FaultPlan: a seeded, serializable schedule of fault events.
+//
+// Reliability claims about the combiner ("zero invariant violations under
+// churn") are only as strong as the churn they were tested against, and
+// only debuggable if the churn is reproducible. A FaultPlan pins both: it
+// is generated from a seed up front, can be serialized for the bench
+// artifact, and is executed through the simulator's event queue — so a
+// soak run under faults is exactly as bit-reproducible as a clean run.
+//
+// The event vocabulary covers the failure modes the paper's threat model
+// and evaluation exercise: link cuts and recoveries (§V availability),
+// lossy / slow links, whole-replica crashes and restarts, byzantine
+// behaviour swaps (§II attack classes via src/adversary), and compare
+// cache-pressure squeezes (§V-B memory churn).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace netco::faultinject {
+
+/// What a single fault event does.
+enum class FaultKind : std::uint8_t {
+  kLinkDown,        ///< cut one edge↔replica link
+  kLinkUp,          ///< restore it
+  kLinkLoss,        ///< set a random-loss rate on a link (0 restores)
+  kLinkLatency,     ///< add one-way latency to a link (0 restores)
+  kReplicaCrash,    ///< cut every link of one replica
+  kReplicaRestart,  ///< restore every link of one replica
+  kBehaviorSwap,    ///< install a byzantine datapath behaviour on a replica
+  kCacheSqueeze,    ///< shrink the compare cache capacity (memory pressure)
+  kCacheRestore,    ///< restore the original compare cache capacity
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// Datapath behaviour installed by kBehaviorSwap (see src/adversary).
+enum class SwapBehavior : std::uint8_t {
+  kHonest,   ///< remove any installed behaviour
+  kDrop,     ///< silently delete all traffic (§II-3/4)
+  kCorrupt,  ///< flip payload bytes in flight (§II-3)
+  kReroute,  ///< forward everything to the wrong edge (§II-1)
+};
+
+[[nodiscard]] const char* to_string(SwapBehavior behavior) noexcept;
+
+/// One scheduled fault.
+struct FaultEvent {
+  std::int64_t at_ns = 0;             ///< simulated time to fire
+  FaultKind kind = FaultKind::kLinkDown;
+  int edge = -1;                      ///< edge index, -1 = every edge
+  int replica = 0;                    ///< replica index (link/replica faults)
+  double loss_rate = 0.0;             ///< kLinkLoss
+  std::int64_t extra_latency_ns = 0;  ///< kLinkLatency
+  std::size_t cache_capacity = 0;     ///< kCacheSqueeze
+  SwapBehavior behavior = SwapBehavior::kHonest;  ///< kBehaviorSwap
+};
+
+/// Knobs for FaultPlan::random().
+struct FaultPlanParams {
+  int k = 3;      ///< replicas in the circuit
+  int edges = 2;  ///< trusted edges (Fig. 3 has two)
+  /// Faults are drawn inside [start, horizon); recoveries are scheduled
+  /// before the horizon so the run ends with a healthy plant.
+  sim::Duration start = sim::Duration::milliseconds(100);
+  sim::Duration horizon = sim::Duration::seconds(2);
+  int link_blips = 4;       ///< down/up pairs on single links
+  int loss_bursts = 3;      ///< loss-rate set/clear pairs
+  int latency_ramps = 2;    ///< extra-latency set/clear pairs
+  int replica_crashes = 1;  ///< crash/restart pairs
+  int behavior_swaps = 1;   ///< byzantine/honest pairs
+  int cache_squeezes = 1;   ///< squeeze/restore pairs
+  double max_loss = 0.3;
+  sim::Duration max_extra_latency = sim::Duration::microseconds(200);
+  std::size_t squeeze_capacity = 64;
+};
+
+/// The full schedule. Events are kept sorted by time (ties keep insertion
+/// order, which random() makes deterministic).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Canonical one-line-per-event JSON array (stable field order), for the
+  /// bench artifact and for byte-comparing plans across runs.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Sorts events by time, keeping the relative order of simultaneous
+  /// events (random() already emits sorted plans; hand-built ones call
+  /// this before arming).
+  void normalize();
+
+  /// Draws a plan from a seed. Crash and behaviour-swap windows are
+  /// allocated in disjoint time slots so at most one replica is impaired
+  /// at any instant — a k>=3 majority quorum stays reachable throughout,
+  /// which is what lets the soak demand zero invariant violations.
+  static FaultPlan random(std::uint64_t seed, const FaultPlanParams& params);
+};
+
+}  // namespace netco::faultinject

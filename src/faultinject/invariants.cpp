@@ -1,0 +1,113 @@
+#include "faultinject/invariants.h"
+
+#include <bit>
+#include <cstdio>
+#include <span>
+#include <utility>
+
+namespace netco::faultinject {
+
+namespace {
+constexpr std::size_t kMaxDetails = 32;
+}  // namespace
+
+void InvariantReport::note(std::string detail) {
+  ++violations;
+  if (details.size() < kMaxDetails) details.push_back(std::move(detail));
+}
+
+void InvariantReport::merge(const InvariantReport& other) {
+  checks += other.checks;
+  violations += other.violations;
+  for (const auto& detail : other.details) {
+    if (details.size() == kMaxDetails) break;
+    details.push_back(detail);
+  }
+}
+
+void check_audit(const core::CompareAudit& audit, const std::string& where,
+                 InvariantReport& report) {
+  char buf[160];
+
+  ++report.checks;
+  if (!audit.age_cache_consistent) {
+    report.note(where + ": age list and cache disagree");
+  }
+  ++report.checks;
+  if (!audit.age_ordered) {
+    report.note(where + ": age list not oldest-first");
+  }
+  ++report.checks;
+  if (audit.cache_entries > audit.cache_capacity) {
+    std::snprintf(buf, sizeof buf, "%s: cache %zu exceeds capacity %zu",
+                  where.c_str(), audit.cache_entries, audit.cache_capacity);
+    report.note(buf);
+  }
+  for (std::size_t r = 0; r < audit.quota_counts.size(); ++r) {
+    ++report.checks;
+    if (audit.quota_counts[r] != audit.live_singletons[r]) {
+      std::snprintf(
+          buf, sizeof buf,
+          "%s: replica %zu quota counter %llu != live singletons %llu",
+          where.c_str(), r,
+          static_cast<unsigned long long>(audit.quota_counts[r]),
+          static_cast<unsigned long long>(audit.live_singletons[r]));
+      report.note(buf);
+    }
+  }
+}
+
+void QuorumTraceChecker::append(const obs::TraceRecord& record) {
+  ++records_;
+  const std::string line = obs::to_json(record) + '\n';
+  hash_ = fnv1a(std::as_bytes(std::span(line.data(), line.size())), hash_);
+  if (tee_ != nullptr) tee_->append(record);
+
+  switch (record.event) {
+    case obs::TraceEvent::kCompareIngest:
+      if (record.replica >= 0 && record.replica < 64) {
+        votes_[record.component][record.packet_id] |=
+            1ULL << static_cast<unsigned>(record.replica);
+      }
+      break;
+    case obs::TraceEvent::kCompareRelease: {
+      ++releases_;
+      ++report_.checks;
+      const auto comp = votes_.find(record.component);
+      const std::uint64_t mask =
+          comp != votes_.end()
+              ? [&] {
+                  const auto it = comp->second.find(record.packet_id);
+                  return it != comp->second.end() ? it->second : 0ULL;
+                }()
+              : 0ULL;
+      const int vote_count = std::popcount(mask);
+      const int needed = config_.first_copy ? 1 : config_.quorum;
+      if (vote_count < needed) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "%s: released %016llx with %d votes (need %d) t=%lld",
+                      record.component.c_str(),
+                      static_cast<unsigned long long>(record.packet_id),
+                      vote_count, needed,
+                      static_cast<long long>(record.at_ns));
+        report_.note(buf);
+      }
+      break;
+    }
+    case obs::TraceEvent::kCompareEvictTimeout:
+    case obs::TraceEvent::kCompareEvictCapacity:
+    case obs::TraceEvent::kCompareEvictQuota:
+    case obs::TraceEvent::kCompareExpire: {
+      // The cache entry is gone; forget its votes so the map stays
+      // bounded by the live cache size.
+      const auto comp = votes_.find(record.component);
+      if (comp != votes_.end()) comp->second.erase(record.packet_id);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace netco::faultinject

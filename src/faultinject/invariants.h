@@ -1,0 +1,96 @@
+// Online invariant checking for fault-injection soaks.
+//
+// Two complementary checkers:
+//
+//  * check_audit() validates a CompareCore::audit() snapshot — the cache's
+//    incremental bookkeeping (per-replica singleton quotas, age list,
+//    capacity bound) against ground truth recomputed from the cache. This
+//    is what catches slow accounting drift (the quota-leak class of bug)
+//    that no end-to-end assertion would notice until the quota saturates.
+//
+//  * QuorumTraceChecker validates the *protocol* from the trace stream:
+//    every compare.release must be preceded by ingests from a strict
+//    majority of replicas (or at least one in kFirstCopy detection mode).
+//    It sits in the trace path as a TraceSink, optionally teeing to a
+//    downstream sink, and folds every record into an FNV-1a stream hash —
+//    the determinism fingerprint the soak byte-compares across same-seed
+//    runs without buffering millions of records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "netco/compare_core.h"
+#include "obs/trace.h"
+
+namespace netco::faultinject {
+
+/// Accumulated verdict of one or more checkers.
+struct InvariantReport {
+  std::uint64_t checks = 0;      ///< individual assertions evaluated
+  std::uint64_t violations = 0;  ///< assertions that failed
+  /// Human-readable description of the first violations (capped so a
+  /// pathological run cannot eat memory).
+  std::vector<std::string> details;
+
+  [[nodiscard]] bool ok() const noexcept { return violations == 0; }
+
+  /// Records one failed assertion.
+  void note(std::string detail);
+
+  /// Folds another report into this one.
+  void merge(const InvariantReport& other);
+};
+
+/// Checks a cache self-audit: quota counters match a live recount, the
+/// age list and cache agree, ages are ordered, occupancy respects the
+/// capacity bound. `where` labels violations ("netco-e0@t=...").
+void check_audit(const core::CompareAudit& audit, const std::string& where,
+                 InvariantReport& report);
+
+/// Trace-stream protocol checker (see file comment).
+class QuorumTraceChecker final : public obs::TraceSink {
+ public:
+  struct Config {
+    /// Votes required for a legal release (k/2+1 in kMajority mode).
+    int quorum = 2;
+    /// kFirstCopy detection mode: a release needs only one vote.
+    bool first_copy = false;
+  };
+
+  explicit QuorumTraceChecker(Config config, obs::TraceSink* tee = nullptr)
+      : config_(config), tee_(tee) {}
+
+  void append(const obs::TraceRecord& record) override;
+
+  [[nodiscard]] const InvariantReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] std::uint64_t records_seen() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t releases() const noexcept { return releases_; }
+
+  /// FNV-1a over the canonical JSON of every record seen so far — equal
+  /// hashes across two runs mean byte-identical trace streams.
+  [[nodiscard]] std::uint64_t stream_hash() const noexcept { return hash_; }
+
+ private:
+  Config config_;
+  obs::TraceSink* tee_;
+  InvariantReport report_;
+  std::uint64_t records_ = 0;
+  std::uint64_t releases_ = 0;
+  std::uint64_t hash_ = kFnvOffset;
+  /// component → packet id → replica vote bitmask. Entries die with their
+  /// cache entry (release verdict, eviction, or expiry), so the map is
+  /// bounded by the compare caches' live size.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::uint64_t, std::uint64_t>>
+      votes_;
+};
+
+}  // namespace netco::faultinject

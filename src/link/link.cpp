@@ -13,6 +13,16 @@ void Channel::send(net::Packet packet) {
     ++stats_.dropped_down;
     return;
   }
+  if (loss_rate_ > 0.0 && simulator_.rng().chance(loss_rate_)) {
+    ++stats_.dropped_loss;
+    obs::Tracer& tracer = obs_->tracer;
+    if (tracer.enabled()) {
+      tracer.emit(simulator_.now().ns(), obs::TraceEvent::kLinkLoss,
+                  packet.content_hash(), label_, -1,
+                  static_cast<std::uint32_t>(packet.size()));
+    }
+    return;
+  }
   if (!busy_) {
     busy_ = true;
     start_transmission(std::move(packet));
@@ -25,7 +35,7 @@ void Channel::send(net::Packet packet) {
     obs::Tracer& tracer = obs_->tracer;
     if (tracer.enabled()) {
       tracer.emit(simulator_.now().ns(), obs::TraceEvent::kLinkDrop,
-                  packet.content_hash(), "link", -1,
+                  packet.content_hash(), label_, -1,
                   static_cast<std::uint32_t>(packet.size()));
     }
     return;
@@ -41,7 +51,7 @@ void Channel::start_transmission(net::Packet packet) {
   const sim::Duration tx = sim::transmission_time(config_.rate, packet.size());
   ++stats_.tx_packets;
   stats_.tx_bytes += packet.size();
-  const sim::Duration arrival = tx + config_.propagation;
+  const sim::Duration arrival = tx + config_.propagation + extra_latency_;
   // Deliver after serialization + propagation...
   simulator_.schedule_after(
       arrival, [this, p = std::move(packet)]() mutable { sink_(std::move(p)); });

@@ -39,6 +39,7 @@ struct LinkStats {
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t dropped_down = 0;     ///< dropped while the link was down
+  std::uint64_t dropped_loss = 0;     ///< fault-injected random loss
   std::uint64_t max_queue_bytes = 0;  ///< high-water mark
 };
 
@@ -73,6 +74,24 @@ class Channel {
   void set_down(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool is_down() const noexcept { return down_; }
 
+  /// Fault injection: each packet handed to the channel is independently
+  /// discarded with probability `rate` (draws come from the simulator's
+  /// seeded RNG, so runs stay bit-reproducible). 0 disables.
+  void set_loss(double rate) noexcept { loss_rate_ = rate; }
+  [[nodiscard]] double loss_rate() const noexcept { return loss_rate_; }
+
+  /// Fault injection: additional one-way delay on top of the configured
+  /// propagation (a latency ramp mid-run). Zero disables.
+  void set_extra_latency(sim::Duration extra) noexcept { extra_latency_ = extra; }
+  [[nodiscard]] sim::Duration extra_latency() const noexcept {
+    return extra_latency_;
+  }
+
+  /// Name stamped on this channel's trace records ("s1->r2"). Defaults to
+  /// "link"; Network::connect() labels both directions from the node names.
+  void set_label(std::string label) { label_ = std::move(label); }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
   /// Counters for this direction.
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
 
@@ -98,6 +117,9 @@ class Channel {
   std::size_t queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  double loss_rate_ = 0.0;
+  sim::Duration extra_latency_ = sim::Duration::zero();
+  std::string label_ = "link";
   LinkStats stats_;
 };
 
@@ -111,6 +133,23 @@ class Link {
   void set_down(bool down) noexcept {
     forward_.set_down(down);
     reverse_.set_down(down);
+  }
+
+  /// Symmetric fault injection on both directions.
+  void set_loss(double rate) noexcept {
+    forward_.set_loss(rate);
+    reverse_.set_loss(rate);
+  }
+  void set_extra_latency(sim::Duration extra) noexcept {
+    forward_.set_extra_latency(extra);
+    reverse_.set_extra_latency(extra);
+  }
+
+  /// Labels both directions from the endpoint names ("a->b" / "b->a") so
+  /// drop/loss trace records are attributable to the owning link.
+  void set_labels(const std::string& a, const std::string& b) {
+    forward_.set_label(a + "->" + b);
+    reverse_.set_label(b + "->" + a);
   }
 
   /// Direction A→B.

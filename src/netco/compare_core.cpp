@@ -1,12 +1,17 @@
 #include "netco/compare_core.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/assert.h"
 #include "common/hash.h"
 
 namespace netco::core {
+namespace {
+/// Salt for the perturbed-key collision chain (see ingest()).
+constexpr std::uint64_t kProbeSalt = 0xC01115104EULL;
+}  // namespace
 
 CompareCore::CompareCore(CompareConfig config)
     : config_(config),
@@ -28,13 +33,13 @@ CompareCore::CompareCore(CompareConfig config)
 std::uint64_t CompareCore::key_of(const net::Packet& packet) const {
   switch (config_.mode) {
     case CompareMode::kFullPacket:
-      return packet.content_hash();
+      return packet.content_hash() & config_.key_mask;
     case CompareMode::kHeaderOnly:
-      return packet.prefix_hash(config_.header_prefix);
+      return packet.prefix_hash(config_.header_prefix) & config_.key_mask;
     case CompareMode::kHashed:
-      return packet.content_hash();
+      return packet.content_hash() & config_.key_mask;
   }
-  return packet.content_hash();
+  return packet.content_hash() & config_.key_mask;
 }
 
 bool CompareCore::same_packet(const net::Packet& a,
@@ -102,26 +107,63 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
 
   // Find the entry for this packet. Hash collisions between *different*
   // packets are resolved by probing a perturbed key — deterministic, so
-  // every copy of the same packet lands in the same slot.
-  std::uint64_t key = key_of(packet);
-  for (;;) {
-    const auto it = cache_.find(key);
-    if (it == cache_.end()) break;
-    if (same_packet(it->second.exemplar, packet)) break;
-    key = hash_mix(key, 0xC01115104EULL);
+  // every copy of the same packet lands in the same slot. The probe must
+  // scan the whole occupied depth of the chain, not stop at the first
+  // absent key: evictions leave holes, and a copy that stopped short
+  // would start a second entry for a packet that already has one deeper
+  // in the chain (splitting its contributions and starving its quorum).
+  const std::uint64_t base = key_of(packet);
+  std::uint32_t chain_limit = 0;
+  if (const auto cit = chains_.find(base); cit != chains_.end()) {
+    chain_limit = cit->second.max_depth;
+  }
+  std::uint64_t probe = base;
+  std::uint64_t key = 0;
+  std::uint32_t depth = 0;
+  bool have_slot = false;
+  auto it = cache_.end();
+  for (std::uint32_t d = 0; d <= chain_limit; ++d) {
+    const auto hit = cache_.find(probe);
+    if (hit == cache_.end()) {
+      if (!have_slot) {  // remember the shallowest hole for reuse
+        have_slot = true;
+        key = probe;
+        depth = d;
+      }
+    } else if (hit->second.base_key == base &&
+               same_packet(hit->second.exemplar, packet)) {
+      it = hit;
+      key = probe;
+      depth = d;
+      break;
+    }
+    probe = hash_mix(probe, kProbeSalt);
+  }
+  if (it == cache_.end() && !have_slot) {
+    // Chain fully occupied by other packets: extend past its tail
+    // (skipping any coincidentally occupied foreign keys).
+    depth = chain_limit;
+    for (;;) {
+      ++depth;
+      if (cache_.find(probe) == cache_.end()) break;
+      probe = hash_mix(probe, kProbeSalt);
+    }
+    key = probe;
   }
 
   const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
-  auto it = cache_.find(key);
 
   if (it == cache_.end()) {
     // First copy of a (possibly fabricated) packet.
     Entry entry;
     entry.key = key;
+    entry.base_key = base;
+    entry.probe_depth = depth;
     entry.exemplar = std::move(packet);
     entry.replica_mask = bit;
     entry.contributions = 1;
     entry.first_replica = replica;
+    entry.holds_singleton_slot = true;
     entry.first_seen = now;
     age_.push_back(key);
     entry.age_it = std::prev(age_.end());
@@ -139,6 +181,11 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     }
 
     cache_.emplace(key, std::move(entry));
+    if (depth > 0) {
+      Chain& chain = chains_[base];
+      ++chain.live;
+      chain.max_depth = std::max(chain.max_depth, depth);
+    }
     stats_.cache_entries = cache_.size();
     stats_.max_cache_entries =
         std::max(stats_.max_cache_entries, stats_.cache_entries);
@@ -159,10 +206,13 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     return std::nullopt;
   }
 
-  if (entry.contributions == 1) {
-    // No longer a singleton: release the isolation-quota slot.
+  if (entry.holds_singleton_slot) {
+    // No longer a singleton: release the isolation-quota slot. This also
+    // covers a kFirstCopy entry that was released on arrival — it keeps
+    // its slot until the partner confirms (or the entry is erased).
     auto& count = singleton_count_[static_cast<std::size_t>(entry.first_replica)];
     if (count > 0) --count;
+    entry.holds_singleton_slot = false;
   }
   entry.replica_mask |= bit;
   ++entry.contributions;
@@ -218,9 +268,18 @@ void CompareCore::erase_entry(std::uint64_t key) {
   const auto it = cache_.find(key);
   if (it == cache_.end()) return;
   Entry& entry = it->second;
-  if (entry.contributions == 1 && !entry.released) {
+  if (entry.holds_singleton_slot) {
+    // Any eviction path returns the quota slot — including a released
+    // kFirstCopy singleton whose partner never confirmed. The old check
+    // (contributions == 1 && !released) skipped that case, so every such
+    // packet leaked a slot and the quota drifted until honest traffic
+    // was being evicted as "flood".
     auto& count = singleton_count_[static_cast<std::size_t>(entry.first_replica)];
     if (count > 0) --count;
+  }
+  if (entry.probe_depth > 0) {
+    const auto cit = chains_.find(entry.base_key);
+    if (cit != chains_.end() && --cit->second.live == 0) chains_.erase(cit);
   }
   age_.erase(entry.age_it);
   cache_.erase(it);
@@ -249,6 +308,7 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
           }
         }
       }
+      trace(obs::TraceEvent::kCompareExpire, entry.exemplar, now, -1);
     } else {
       ++stats_.evicted_timeout;  // §IV case 1: minority packet, never sent
       trace(obs::TraceEvent::kCompareEvictTimeout, entry.exemplar, now,
@@ -274,6 +334,7 @@ void CompareCore::capacity_cleanup(sim::TimePoint now) {
     auto& entry = cache_.at(key);
     if (entry.released) {
       finalize(entry);
+      trace(obs::TraceEvent::kCompareExpire, entry.exemplar, now, -1);
     } else {
       ++stats_.evicted_capacity;
       trace(obs::TraceEvent::kCompareEvictCapacity, entry.exemplar, now,
@@ -313,6 +374,39 @@ CompareAdvice CompareCore::take_advice() {
   CompareAdvice out = std::move(pending_advice_);
   pending_advice_ = CompareAdvice{};
   return out;
+}
+
+CompareAudit CompareCore::audit() const {
+  CompareAudit out;
+  out.cache_entries = cache_.size();
+  out.age_entries = age_.size();
+  out.cache_capacity = config_.cache_capacity;
+  out.quota_counts = singleton_count_;
+  out.live_singletons.assign(singleton_count_.size(), 0);
+  for (const auto& [key, entry] : cache_) {
+    // Ground truth, independent of the incremental flag: an entry holds a
+    // quota slot exactly while it has a single contribution.
+    if (entry.contributions == 1) {
+      ++out.live_singletons[static_cast<std::size_t>(entry.first_replica)];
+    }
+  }
+  std::int64_t prev_ns = std::numeric_limits<std::int64_t>::min();
+  for (auto it = age_.begin(); it != age_.end(); ++it) {
+    const auto cit = cache_.find(*it);
+    if (cit == cache_.end() || cit->second.age_it != it) {
+      out.age_cache_consistent = false;
+      continue;
+    }
+    if (cit->second.first_seen.ns() < prev_ns) out.age_ordered = false;
+    prev_ns = cit->second.first_seen.ns();
+  }
+  if (out.cache_entries != out.age_entries) out.age_cache_consistent = false;
+  return out;
+}
+
+void CompareCore::set_cache_capacity(std::size_t capacity, sim::TimePoint now) {
+  config_.cache_capacity = capacity;
+  if (cache_.size() > config_.cache_capacity) capacity_cleanup(now);
 }
 
 }  // namespace netco::core

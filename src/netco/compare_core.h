@@ -94,6 +94,11 @@ struct CompareConfig {
   /// prototype's packet cache. false = eager erasure (lower memory; used
   /// by deployments that prefer a tight cache).
   bool retain_completed = true;
+  /// Mask applied to every cache key. ~0 (default) keeps the full 64-bit
+  /// hash; narrowing it models a memory-constrained key space and forces
+  /// the perturbed-key collision chains to engage (tests use this to forge
+  /// deterministic collisions).
+  std::uint64_t key_mask = ~0ULL;
 
   /// Strict majority for the configured k.
   [[nodiscard]] int quorum() const noexcept { return k / 2 + 1; }
@@ -113,6 +118,25 @@ struct CompareStats {
   std::uint64_t rejected_replica = 0;     ///< ingests with replica ∉ [0,k)
   std::size_t cache_entries = 0;          ///< current occupancy
   std::size_t max_cache_entries = 0;
+};
+
+/// Self-audit snapshot of the cache bookkeeping, for online invariant
+/// checking (fault-injection soaks call this between batches). The audit
+/// recomputes ground truth from the cache itself so it catches drift in
+/// the incrementally maintained counters.
+struct CompareAudit {
+  std::size_t cache_entries = 0;    ///< cache_.size()
+  std::size_t age_entries = 0;      ///< age list length
+  std::size_t cache_capacity = 0;   ///< configured bound
+  /// Every age-list key resolves to a cache entry whose stored age
+  /// iterator points back at that position, and the two sizes match.
+  bool age_cache_consistent = true;
+  /// The age list is oldest-first (first_seen non-decreasing).
+  bool age_ordered = true;
+  /// The incrementally maintained per-replica quota counters...
+  std::vector<std::uint64_t> quota_counts;
+  /// ...versus a fresh recount of live single-contribution entries.
+  std::vector<std::uint64_t> live_singletons;
 };
 
 /// Events the deployment layer should act on.
@@ -155,6 +179,15 @@ class CompareCore {
   /// The configuration in force.
   [[nodiscard]] const CompareConfig& config() const noexcept { return config_; }
 
+  /// Recomputes the cache bookkeeping from scratch (O(cache size)) so an
+  /// external checker can compare it against the incremental counters.
+  [[nodiscard]] CompareAudit audit() const;
+
+  /// Fault/pressure injection: rebinds the cache capacity mid-run. A
+  /// squeeze below the current occupancy triggers an immediate cleanup
+  /// pass (billable via last_cleanup_work(), like any other pass).
+  void set_cache_capacity(std::size_t capacity, sim::TimePoint now);
+
   /// Component name stamped on this core's trace records ("compare" by
   /// default; deployments use "compare/<edge>" to tell edges apart).
   void set_trace_label(std::string label) { trace_label_ = std::move(label); }
@@ -165,14 +198,32 @@ class CompareCore {
  private:
   struct Entry {
     std::uint64_t key = 0;
+    std::uint64_t base_key = 0;   ///< unperturbed key (collision-chain id)
+    std::uint32_t probe_depth = 0;  ///< position in the perturbed-key chain
     net::Packet exemplar;         ///< first copy received
     std::uint64_t replica_mask = 0;
     int contributions = 0;
     int first_replica = 0;  ///< quota accounting while a singleton
+    /// True while this entry occupies a slot of first_replica's singleton
+    /// quota. Tracked explicitly (rather than re-derived from
+    /// contributions/released at erase time) so every eviction path
+    /// returns the slot — a released-but-unconfirmed kFirstCopy singleton
+    /// used to leak its slot and drift the quota upward forever.
+    bool holds_singleton_slot = false;
     bool released = false;
     sim::TimePoint first_seen;
     /// Position in the age list for O(1) eviction.
     std::list<std::uint64_t>::iterator age_it;
+  };
+
+  /// Collision-chain bookkeeping for one base key: how many live entries
+  /// sit at perturbed keys, and the deepest occupied perturbation. The
+  /// probe in ingest() must walk to max_depth even across holes left by
+  /// evictions — stopping at the first absent key would split a packet's
+  /// contributions over two entries and starve its quorum.
+  struct Chain {
+    std::uint32_t live = 0;
+    std::uint32_t max_depth = 0;
   };
 
   [[nodiscard]] std::uint64_t key_of(const net::Packet& packet) const;
@@ -202,6 +253,8 @@ class CompareCore {
   // resolved by same_packet() refusing to merge; the colliding packet is
   // keyed by a salted rehash (open chaining via key perturbation).
   std::unordered_map<std::uint64_t, Entry> cache_;
+  // base key → chain occupancy, only for bases with perturbed entries.
+  std::unordered_map<std::uint64_t, Chain> chains_;
   std::list<std::uint64_t> age_;  ///< oldest-first keys
 
   // Per-replica monitors.

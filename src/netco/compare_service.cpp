@@ -91,8 +91,11 @@ void CompareService::on_packet_in(controller::Controller& controller,
 
 void CompareService::act_on_advice(controller::Controller& controller,
                                    EdgeState& state) {
-  CompareAdvice advice = state.core.take_advice();
+  // Check the channel before consuming the advice: a detached edge keeps
+  // its advice pending until (if ever) a channel re-attaches, instead of
+  // silently swallowing it.
   if (state.channel == nullptr) return;
+  CompareAdvice advice = state.core.take_advice();
   const std::string edge = state.channel->attached_switch().name();
 
   for (int replica : advice.block_replicas) {
@@ -105,6 +108,9 @@ void CompareService::act_on_advice(controller::Controller& controller,
       if (state.config.block_duration > sim::Duration::zero()) {
         controller.simulator().schedule_after(
             state.config.block_duration, [&state, port] {
+              // The edge may have detached (switch crash, teardown) while
+              // the unblock timer was pending — state outlives the channel.
+              if (state.channel == nullptr) return;
               state.channel->port_mod(
                   openflow::PortMod{.port = port, .blocked = false});
             });
@@ -129,6 +135,16 @@ const CompareStats* CompareService::stats_for(
     const std::string& edge_name) const {
   const auto it = edges_.find(edge_name);
   return it == edges_.end() ? nullptr : &it->second.core.stats();
+}
+
+CompareCore* CompareService::core_for(const std::string& edge_name) {
+  const auto it = edges_.find(edge_name);
+  return it == edges_.end() ? nullptr : &it->second.core;
+}
+
+void CompareService::detach_edge(const std::string& edge_name) {
+  const auto it = edges_.find(edge_name);
+  if (it != edges_.end()) it->second.channel = nullptr;
 }
 
 }  // namespace netco::core

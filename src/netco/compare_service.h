@@ -81,6 +81,15 @@ class CompareService : public controller::App {
   [[nodiscard]] const CompareStats* stats_for(
       const std::string& edge_name) const;
 
+  /// Mutable access to one edge's compare core (nullptr if unknown).
+  /// Fault injection uses this to squeeze the cache or audit invariants.
+  [[nodiscard]] CompareCore* core_for(const std::string& edge_name);
+
+  /// Drops the control channel for an edge (switch crash / teardown).
+  /// Pending timers and sweeps keep running against the core but stop
+  /// touching the dead channel; advice stays pending until re-attach.
+  void detach_edge(const std::string& edge_name);
+
   /// Packet-ins that arrived from a port not registered as a replica port.
   [[nodiscard]] std::uint64_t unknown_port_drops() const noexcept {
     return unknown_port_drops_;

@@ -17,7 +17,9 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kCompareDuplicate: return "compare.duplicate";
     case TraceEvent::kCompareLate: return "compare.late";
     case TraceEvent::kCompareMismatch: return "compare.mismatch";
+    case TraceEvent::kCompareExpire: return "compare.expire";
     case TraceEvent::kLinkDrop: return "link.drop";
+    case TraceEvent::kLinkLoss: return "link.loss";
   }
   return "unknown";
 }

@@ -37,7 +37,9 @@ enum class TraceEvent : std::uint8_t {
   kCompareDuplicate,     ///< same replica re-sent the packet (§IV case 2)
   kCompareLate,          ///< copy arrived after the release (never re-released)
   kCompareMismatch,      ///< kFirstCopy: replica[i] failed to confirm (§IV)
+  kCompareExpire,        ///< a released (retained) entry aged out of the cache
   kLinkDrop,             ///< drop-tail queue overflow
+  kLinkLoss,             ///< fault-injected random loss (link.set_loss)
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

@@ -1,0 +1,136 @@
+#include "scenario/soak.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "faultinject/injector.h"
+#include "host/udp_app.h"
+#include "obs/observability.h"
+
+namespace netco::scenario {
+
+namespace {
+
+/// Expected run length for a packet budget at an offered rate, with head
+/// room for warmup, fault churn, and pacing jitter.
+sim::Duration expected_duration(const SoakOptions& options) {
+  const double pps = static_cast<double>(options.rate.bps()) /
+                     (static_cast<double>(options.payload_bytes) * 8.0);
+  const double secs = static_cast<double>(options.packets) / pps;
+  return sim::Duration::seconds_f(secs);
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakOptions& options) {
+  NETCO_ASSERT(options.packets > 0 && options.rate.positive());
+  obs::Observability& obs = obs::global();
+  obs.metrics.reset();
+
+  // Central3/Central5 tuning, then override the soak-specific knobs.
+  topo::Figure3Options topo_options = make_options(
+      options.k >= 5 ? ScenarioKind::kCentral5 : ScenarioKind::kCentral3,
+      options.seed);
+  topo_options.combiner.k = options.k;
+  topo_options.combiner.compare.policy = options.policy;
+  // Blocks must recover: a fault plan *will* trip the flood monitors
+  // (byzantine swaps produce attributable garbage), and a permanent block
+  // of an honest replica would turn one transient into a dead replica for
+  // the rest of the soak. This also keeps the unblock timer path hot.
+  topo_options.combiner.block_duration = sim::Duration::milliseconds(50);
+
+  SoakOptions opts = options;  // materialize the default plan
+  const sim::Duration horizon = expected_duration(options);
+  if (opts.plan.empty()) {
+    faultinject::FaultPlanParams params;
+    params.k = options.k;
+    params.horizon = horizon;
+    // Short smoke runs still deserve churn: keep the quiet lead-in below
+    // a fifth of the run instead of a fixed 100 ms.
+    params.start = std::min(params.start,
+                            sim::Duration::nanoseconds(horizon.ns() / 5));
+    opts.plan = faultinject::FaultPlan::random(options.seed, params);
+  }
+
+  topo::Figure3Topology topo(topo_options);
+
+  faultinject::QuorumTraceChecker::Config check_cfg;
+  check_cfg.quorum = options.k / 2 + 1;
+  check_cfg.first_copy = options.policy == core::ReleasePolicy::kFirstCopy;
+  faultinject::QuorumTraceChecker checker(check_cfg);
+  obs::ScopedTraceSink scoped(checker);
+
+  faultinject::FaultInjector injector(topo, opts.plan);
+  injector.arm();
+
+  host::UdpSenderConfig scfg;
+  scfg.dst_mac = topo.h2().mac();
+  scfg.dst_ip = topo.h2().ip();
+  scfg.rate = opts.rate;
+  scfg.payload_bytes = opts.payload_bytes;
+  host::UdpSender sender(topo.h1(), scfg);
+  host::UdpSink sink(topo.h2(), scfg.dst_port);
+
+  SoakResult result;
+  core::CombinerInstance& combiner = topo.combiner();
+  const auto audit_cores = [&] {
+    if (combiner.compare == nullptr) return;
+    for (const auto* edge : combiner.edges) {
+      const core::CompareCore* core =
+          combiner.compare->core_for(edge->name());
+      if (core == nullptr) continue;
+      faultinject::check_audit(core->audit(), edge->name(),
+                               result.invariants);
+    }
+    ++result.audits;
+  };
+
+  sender.start();
+  // Hard stop at 8× the expected duration: the soak must terminate even
+  // if a future regression stalls the sender.
+  const sim::TimePoint deadline =
+      sim::TimePoint::origin() + horizon * 8 + sim::Duration::seconds(1);
+  while (sender.stats().datagrams_sent < opts.packets &&
+         topo.simulator().now() < deadline) {
+    topo.simulator().run_for(opts.audit_period);
+    audit_cores();
+  }
+  sender.stop();
+
+  // Drain: let in-flight packets land and cached entries age out, so the
+  // checker's vote map sees every entry's terminal event.
+  const sim::Duration hold =
+      topo_options.combiner.compare.hold_timeout;
+  topo.simulator().run_for(hold * 3 + sim::Duration::milliseconds(100));
+  audit_cores();
+
+  result.datagrams_sent = sender.stats().datagrams_sent;
+  result.delivered_unique = sink.report().unique_received;
+  if (combiner.compare != nullptr) {
+    for (const auto* edge : combiner.edges) {
+      const core::CompareStats* stats =
+          combiner.compare->stats_for(edge->name());
+      if (stats == nullptr) continue;
+      result.compare_ingested += stats->ingested;
+      result.compare_released += stats->released;
+    }
+  }
+  result.trace_records = checker.records_seen();
+  result.fault_events_applied = injector.applied();
+  result.sim_seconds = topo.simulator().now().since_origin().sec();
+  result.throughput_pps =
+      result.sim_seconds > 0.0
+          ? static_cast<double>(result.datagrams_sent) / result.sim_seconds
+          : 0.0;
+  const obs::Histogram& verdict =
+      obs.metrics.histogram("compare.verdict_latency_us");
+  result.verdict_p50_us = verdict.quantile(0.50);
+  result.verdict_p95_us = verdict.quantile(0.95);
+  result.verdict_p99_us = verdict.quantile(0.99);
+  result.invariants.merge(checker.report());
+  result.stream_hash = checker.stream_hash();
+  result.metrics_json = obs.metrics.to_json();
+  return result;
+}
+
+}  // namespace netco::scenario

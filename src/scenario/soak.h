@@ -1,0 +1,74 @@
+// Long-running soak of the combiner under a deterministic FaultPlan.
+//
+// run_soak() drives a UDP stream through a fresh Fig. 3 combiner while a
+// FaultInjector executes the plan, the QuorumTraceChecker validates every
+// release against the trace stream, and periodic CompareCore::audit()
+// snapshots validate the cache bookkeeping. Because faults, traffic, and
+// audits all run through the one seeded simulator, a soak is exactly as
+// bit-reproducible as a clean run: same seed → identical trace stream
+// hash and identical metrics snapshot. bench/soak_netco.cpp runs this at
+// ~10^6 packets per configuration; tests/soak_smoke_test.cpp runs a
+// 2-second slice of it as a tier-1 test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faultinject/fault_plan.h"
+#include "faultinject/invariants.h"
+#include "netco/compare_core.h"
+#include "scenario/scenarios.h"
+
+namespace netco::scenario {
+
+/// Soak parameters.
+struct SoakOptions {
+  int k = 3;
+  core::ReleasePolicy policy = core::ReleasePolicy::kMajority;
+  std::uint64_t seed = 1;
+  /// Stop the sender once this many datagrams have been offered. Each is
+  /// multiplied k-fold at the hub, so compare ingests ≈ k × packets.
+  std::uint64_t packets = 100'000;
+  std::size_t payload_bytes = 200;
+  /// Offered rate. Small packets keep the compare busy; the default sits
+  /// below the c_program compare's ~80k packet-in/s capacity at k=3 so
+  /// that faults, not steady-state overload, drive the dynamics (the
+  /// bench lowers it further for k=5).
+  DataRate rate = DataRate::megabits_per_sec(16);
+  /// Fault schedule. Empty → a default FaultPlan::random(seed) sized to
+  /// the expected run length.
+  faultinject::FaultPlan plan;
+  /// How often the compare caches are audited.
+  sim::Duration audit_period = sim::Duration::milliseconds(50);
+};
+
+/// Everything a soak run produces.
+struct SoakResult {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t delivered_unique = 0;
+  std::uint64_t compare_ingested = 0;
+  std::uint64_t compare_released = 0;
+  std::uint64_t trace_records = 0;
+  std::uint64_t fault_events_applied = 0;
+  std::uint64_t audits = 0;
+  double sim_seconds = 0.0;
+  double throughput_pps = 0.0;  ///< offered datagrams / sim second
+  /// Verdict latency percentiles (µs) from "compare.verdict_latency_us".
+  double verdict_p50_us = 0.0;
+  double verdict_p95_us = 0.0;
+  double verdict_p99_us = 0.0;
+  /// Merged verdict of the trace checker and every cache audit.
+  faultinject::InvariantReport invariants;
+  /// FNV-1a over the canonical trace stream (determinism fingerprint).
+  std::uint64_t stream_hash = 0;
+  /// Canonical global metrics snapshot at the end of the run.
+  std::string metrics_json;
+
+  [[nodiscard]] bool ok() const noexcept { return invariants.ok(); }
+};
+
+/// Runs one soak. Resets the global metrics registry at entry (the
+/// snapshot in the result belongs to this run alone).
+SoakResult run_soak(const SoakOptions& options);
+
+}  // namespace netco::scenario

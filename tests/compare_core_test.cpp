@@ -399,6 +399,136 @@ TEST_P(CompareProperty, MajorityInvariantsHoldUnderRandomAdversary) {
   EXPECT_EQ(core.stats().cache_entries, 0u);
 }
 
+// Regression: a kFirstCopy singleton that was released on arrival keeps
+// occupying its replica's quota slot until erased. The erase path used to
+// skip the slot return for released entries, so detection-mode traffic
+// whose partner stayed silent leaked one slot per packet — the counter
+// drifted up forever and eventually mislabelled honest traffic as flood.
+TEST(CompareCore, ReleasedSingletonReturnsQuotaSlotOnEviction) {
+  CompareConfig config;
+  config.k = 2;
+  config.policy = ReleasePolicy::kFirstCopy;
+  config.per_replica_quota = 32;
+  config.hold_timeout = sim::Duration::milliseconds(5);
+  CompareCore core(config);
+
+  // Far more released-but-unconfirmed packets than the quota, with
+  // regular sweeps so each batch expires normally.
+  std::int64_t ms = 0;
+  for (std::uint32_t n = 0; n < 200; ++n) {
+    EXPECT_TRUE(core.ingest(0, numbered_packet(n), at_ms(ms)).has_value());
+    if ((n + 1) % 10 == 0) {
+      ms += 6;
+      core.sweep(at_ms(ms));
+    }
+  }
+  core.sweep(at_ms(ms + 6));
+  EXPECT_EQ(core.stats().cache_entries, 0u);
+
+  // Every expired entry returned its slot: the incremental counters match
+  // a fresh recount (both zero — the cache is empty).
+  const CompareAudit audit = core.audit();
+  for (std::size_t r = 0; r < audit.quota_counts.size(); ++r) {
+    EXPECT_EQ(audit.quota_counts[r], audit.live_singletons[r])
+        << "replica " << r;
+  }
+  // And the quota never fired: nothing here was a flood.
+  EXPECT_EQ(core.stats().evicted_quota, 0u);
+}
+
+// Regression: the perturbed-key probe used to stop at the first absent
+// key. After an eviction left a hole earlier in a collision chain, later
+// copies of a deeper packet started a *second* entry at the hole instead
+// of finding the survivor — the vote split and the packet never reached
+// quorum. key_mask = 0 forces every packet into one chain.
+TEST(CompareCore, CollisionChainSurvivesBaseEviction) {
+  CompareConfig config;
+  config.k = 3;
+  config.hold_timeout = sim::Duration::milliseconds(10);
+  config.key_mask = 0;
+  CompareCore core(config);
+
+  const auto p1 = numbered_packet(1);
+  const auto p2 = numbered_packet(2);
+  EXPECT_FALSE(core.ingest(0, p1, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(0, p2, at_ms(5)).has_value());  // chained at depth 1
+  EXPECT_EQ(core.stats().cache_entries, 2u);
+
+  // p1 times out; its eviction leaves a hole at the chain's base key.
+  core.sweep(at_ms(12));
+  EXPECT_EQ(core.stats().evicted_timeout, 1u);
+  EXPECT_EQ(core.stats().cache_entries, 1u);
+
+  // The confirming copy of p2 must find the survivor past the hole.
+  const auto released = core.ingest(1, p2, at_ms(13));
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(*released, p2);
+  EXPECT_EQ(core.stats().released, 1u);
+  EXPECT_EQ(core.stats().cache_entries, 1u);
+
+  // A third copy is late traffic on the same entry, not a fresh vote.
+  EXPECT_FALSE(core.ingest(2, p2, at_ms(14)).has_value());
+  EXPECT_EQ(core.stats().released, 1u);
+  EXPECT_EQ(core.stats().late_after_release, 1u);
+}
+
+// Deep chains stay navigable: with every packet colliding, each
+// confirming copy (arriving in reverse order, so at every depth) must
+// land on its own entry, and the bookkeeping must survive the churn.
+TEST(CompareCore, CollisionChainManyColliders) {
+  CompareConfig config;
+  config.k = 3;
+  config.key_mask = 0;
+  CompareCore core(config);
+
+  std::vector<net::Packet> packets;
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    packets.push_back(numbered_packet(n));
+  }
+  for (const auto& p : packets) {
+    EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  }
+  EXPECT_EQ(core.stats().cache_entries, 8u);
+
+  for (auto it = packets.rbegin(); it != packets.rend(); ++it) {
+    EXPECT_TRUE(core.ingest(1, *it, at_ms(1)).has_value());
+  }
+  EXPECT_EQ(core.stats().released, 8u);
+
+  const CompareAudit audit = core.audit();
+  EXPECT_TRUE(audit.age_cache_consistent);
+  EXPECT_TRUE(audit.age_ordered);
+  for (std::size_t r = 0; r < audit.quota_counts.size(); ++r) {
+    EXPECT_EQ(audit.quota_counts[r], audit.live_singletons[r]);
+  }
+}
+
+// A mid-run capacity squeeze (the fault injector's cache-pressure event)
+// must clean down immediately and keep every invariant intact.
+TEST(CompareCore, CacheSqueezeCleansToNewCapacity) {
+  CompareConfig config;
+  config.k = 3;
+  config.cache_capacity = 256;
+  config.cleanup_low_water = 0.75;
+  CompareCore core(config);
+
+  for (std::uint32_t n = 0; n < 100; ++n) {
+    core.ingest(0, numbered_packet(n), at_ms(1));
+  }
+  EXPECT_EQ(core.stats().cache_entries, 100u);
+
+  core.set_cache_capacity(40, at_ms(2));
+  EXPECT_LE(core.stats().cache_entries, 40u);
+  EXPECT_GE(core.stats().cleanup_passes, 1u);
+
+  const CompareAudit audit = core.audit();
+  EXPECT_EQ(audit.cache_capacity, 40u);
+  EXPECT_TRUE(audit.age_cache_consistent);
+  for (std::size_t r = 0; r < audit.quota_counts.size(); ++r) {
+    EXPECT_EQ(audit.quota_counts[r], audit.live_singletons[r]);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CompareProperty,
     ::testing::Values(PropertyParam{3, CompareMode::kFullPacket, 1},

@@ -203,6 +203,50 @@ TEST(CompareService, UntaggedPacketInVlanModeDropped) {
   EXPECT_EQ(service.unknown_port_drops(), 1u);
 }
 
+// Regression: the timed unblock lambda captured the edge state and
+// dereferenced its control channel unconditionally. An edge that detached
+// (switch crash / teardown) while the unblock timer was pending turned
+// the recovery into a use-after-detach. The timer must notice the dead
+// channel and do nothing.
+TEST(CompareService, UnblockTimerSurvivesDetachedEdge) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& edge = net.add_node<openflow::OpenFlowSwitch>("edge");
+  auto& r0 = net.add_node<Probe>("r0");
+  auto& r1 = net.add_node<Probe>("r1");
+  net.connect(edge, r0);
+  net.connect(edge, r1);
+  for (device::PortIndex p = 0; p < 2; ++p) {
+    openflow::FlowSpec punt;
+    punt.match.with_in_port(p);
+    punt.actions = {openflow::OutputAction::controller()};
+    punt.priority = 20;
+    edge.table().add(std::move(punt), sim.now());
+  }
+
+  CompareService service;
+  controller::Controller controller(sim, "cmp", service);
+  CompareService::EdgeConfig config;
+  config.replica_ports = {{0, 0}, {1, 1}};
+  config.compare.k = 2;
+  config.compare.garbage_limit_packets = 5;  // flood trips fast
+  config.block_duration = sim::Duration::milliseconds(20);
+  service.configure_edge("edge", std::move(config));
+  controller.attach(edge);
+
+  // §IV case 2: the same packet from the same replica, over and over.
+  for (int i = 0; i < 10; ++i) r0.send(0, udp_packet(1));
+  sim.run_for(sim::Duration::milliseconds(5));
+  ASSERT_FALSE(service.alarms().empty());
+  EXPECT_EQ(service.alarms().front().kind,
+            CompareAlarm::Kind::kPortBlocked);
+
+  // The edge goes away while the 20 ms unblock timer is pending.
+  service.detach_edge("edge");
+  sim.run_for(sim::Duration::milliseconds(50));
+  SUCCEED();  // reaching here without a crash is the regression check
+}
+
 // --- inband middlebox node ----------------------------------------------
 
 TEST(Middlebox, ReleasesOnQuorumAndIgnoresStragglers) {

@@ -1,0 +1,255 @@
+// Tests for the fault-injection subsystem: plan generation determinism,
+// injector execution against a real combiner topology, and — crucially —
+// that the invariant checkers actually trip on violating inputs (a
+// checker that can't fail is not a checker).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "faultinject/fault_plan.h"
+#include "faultinject/injector.h"
+#include "faultinject/invariants.h"
+#include "scenario/scenarios.h"
+
+namespace netco::faultinject {
+namespace {
+
+obs::TraceRecord record(obs::TraceEvent event, std::uint64_t pkt,
+                        std::int32_t replica,
+                        const std::string& component = "compare/e") {
+  obs::TraceRecord r;
+  r.at_ns = 1000;
+  r.event = event;
+  r.packet_id = pkt;
+  r.replica = replica;
+  r.bytes = 64;
+  r.component = component;
+  return r;
+}
+
+// --- FaultPlan ------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  FaultPlanParams params;
+  params.k = 3;
+  const FaultPlan a = FaultPlan::random(42, params);
+  const FaultPlan b = FaultPlan::random(42, params);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.to_json(), b.to_json());
+
+  const FaultPlan c = FaultPlan::random(43, params);
+  EXPECT_NE(a.to_json(), c.to_json());
+}
+
+TEST(FaultPlan, EventsSortedAndPaired) {
+  FaultPlanParams params;
+  params.k = 5;
+  params.replica_crashes = 2;
+  params.behavior_swaps = 2;
+  const FaultPlan plan = FaultPlan::random(7, params);
+  ASSERT_FALSE(plan.empty());
+
+  std::int64_t prev = 0;
+  int crashes = 0, restarts = 0;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_GE(e.at_ns, prev);
+    prev = e.at_ns;
+    EXPECT_LT(e.at_ns, params.horizon.ns());
+    EXPECT_GE(e.at_ns, params.start.ns());
+    if (e.kind == FaultKind::kReplicaCrash) ++crashes;
+    if (e.kind == FaultKind::kReplicaRestart) ++restarts;
+  }
+  // Every crash recovers inside the horizon.
+  EXPECT_EQ(crashes, restarts);
+  EXPECT_EQ(crashes, params.replica_crashes);
+}
+
+TEST(FaultPlan, EmptyHorizonYieldsEmptyPlan) {
+  FaultPlanParams params;
+  params.horizon = params.start;  // no room for any event
+  EXPECT_TRUE(FaultPlan::random(1, params).empty());
+}
+
+// --- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjector, AppliesLinkAndCacheEventsOnRealTopology) {
+  topo::Figure3Topology topo(
+      scenario::make_options(scenario::ScenarioKind::kCentral3, 1));
+  auto& combiner = topo.combiner();
+
+  FaultPlan plan;
+  plan.events.push_back({sim::Duration::milliseconds(1).ns(),
+                         FaultKind::kLinkDown, 0, 1, 0, 0, 0,
+                         SwapBehavior::kHonest});
+  plan.events.push_back({sim::Duration::milliseconds(2).ns(),
+                         FaultKind::kCacheSqueeze, -1, 0, 0, 0, 32,
+                         SwapBehavior::kHonest});
+  plan.events.push_back({sim::Duration::milliseconds(3).ns(),
+                         FaultKind::kLinkUp, 0, 1, 0, 0, 0,
+                         SwapBehavior::kHonest});
+  plan.events.push_back({sim::Duration::milliseconds(4).ns(),
+                         FaultKind::kCacheRestore, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest});
+  plan.normalize();
+
+  FaultInjector injector(topo, plan);
+  injector.arm();
+
+  const std::size_t original =
+      combiner.compare->core_for(combiner.edges[0]->name())
+          ->config()
+          .cache_capacity;
+
+  topo.simulator().run_for(sim::Duration::microseconds(1500));
+  EXPECT_TRUE(combiner.edge_replica_link[0][1]->forward().is_down());
+  EXPECT_EQ(injector.applied(), 1u);
+
+  topo.simulator().run_for(sim::Duration::milliseconds(1));
+  EXPECT_EQ(combiner.compare->core_for(combiner.edges[0]->name())
+                ->config()
+                .cache_capacity,
+            32u);
+
+  topo.simulator().run_for(sim::Duration::milliseconds(2));
+  EXPECT_FALSE(combiner.edge_replica_link[0][1]->forward().is_down());
+  EXPECT_EQ(combiner.compare->core_for(combiner.edges[0]->name())
+                ->config()
+                .cache_capacity,
+            original);
+  EXPECT_EQ(injector.applied(), plan.events.size());
+}
+
+// --- check_audit ----------------------------------------------------------
+
+TEST(CheckAudit, PassesOnConsistentSnapshot) {
+  core::CompareAudit audit;
+  audit.cache_entries = 3;
+  audit.age_entries = 3;
+  audit.cache_capacity = 8;
+  audit.quota_counts = {1, 2};
+  audit.live_singletons = {1, 2};
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(CheckAudit, TripsOnQuotaDrift) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.quota_counts = {5, 0};   // counter says 5...
+  audit.live_singletons = {0, 0};  // ...but nothing is live: a leak
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.details.empty());
+  EXPECT_NE(report.details.front().find("quota"), std::string::npos);
+}
+
+TEST(CheckAudit, TripsOnAgeCacheDisagreement) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.age_cache_consistent = false;
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CheckAudit, TripsOnCapacityOverflow) {
+  core::CompareAudit audit;
+  audit.cache_entries = 9;
+  audit.age_entries = 9;
+  audit.cache_capacity = 8;
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CheckAudit, TripsOnUnorderedAgeList) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.age_ordered = false;
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+}
+
+// --- QuorumTraceChecker ---------------------------------------------------
+
+TEST(QuorumTraceChecker, AcceptsQuorumBackedRelease) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 1));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 1));
+  EXPECT_TRUE(checker.report().ok());
+  EXPECT_EQ(checker.releases(), 1u);
+}
+
+TEST(QuorumTraceChecker, TripsOnReleaseWithoutQuorum) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 0));
+  EXPECT_FALSE(checker.report().ok());
+}
+
+TEST(QuorumTraceChecker, SameReplicaDuplicateVoteDoesNotCount) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  // Two ingests from the same replica set the same bit: still one vote.
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 0));
+  EXPECT_FALSE(checker.report().ok());
+}
+
+TEST(QuorumTraceChecker, FirstCopyModeAcceptsSingleVote) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = true});
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 0));
+  EXPECT_TRUE(checker.report().ok());
+}
+
+TEST(QuorumTraceChecker, EvictionClearsVotes) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  checker.append(record(obs::TraceEvent::kCompareEvictTimeout, 1, 0));
+  // The id reappears (retransmission): old votes must not carry over.
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 1));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 1));
+  EXPECT_FALSE(checker.report().ok());  // one fresh vote < quorum
+}
+
+TEST(QuorumTraceChecker, ComponentsAreIndependent) {
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  // Two votes at e0 must not legitimise a release at e1.
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0, "e0"));
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 1, "e0"));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 1, 1, "e1"));
+  EXPECT_FALSE(checker.report().ok());
+}
+
+TEST(QuorumTraceChecker, StreamHashDeterministicAndOrderSensitive) {
+  QuorumTraceChecker a({.quorum = 2});
+  QuorumTraceChecker b({.quorum = 2});
+  QuorumTraceChecker c({.quorum = 2});
+  const auto r1 = record(obs::TraceEvent::kCompareIngest, 1, 0);
+  const auto r2 = record(obs::TraceEvent::kCompareIngest, 2, 1);
+  a.append(r1);
+  a.append(r2);
+  b.append(r1);
+  b.append(r2);
+  c.append(r2);
+  c.append(r1);
+  EXPECT_EQ(a.stream_hash(), b.stream_hash());
+  EXPECT_NE(a.stream_hash(), c.stream_hash());
+}
+
+TEST(QuorumTraceChecker, TeesToDownstreamSink) {
+  obs::RingBufferSink downstream;
+  QuorumTraceChecker checker({.quorum = 2}, &downstream);
+  checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
+  EXPECT_EQ(downstream.records().size(), 1u);
+  EXPECT_EQ(checker.records_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace netco::faultinject

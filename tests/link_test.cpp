@@ -7,6 +7,7 @@
 #include "device/network.h"
 #include "device/node.h"
 #include "link/link.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace netco {
@@ -214,6 +215,58 @@ TEST(Link, DownChannelDiscards) {
   a.send(0, frame(100));
   sim.run();
   EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(Link, LossyChannelDropsAndTracesOwningLinkName) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& a = net.add_node<SinkNode>("alpha");
+  auto& b = net.add_node<SinkNode>("bravo");
+  const auto conn = net.connect(a, b);
+  conn.link->set_loss(1.0);
+
+  obs::RingBufferSink ring;
+  obs::ScopedTraceSink scoped(ring);
+  a.send(0, frame(100));
+  b.send(0, frame(100));
+  sim.run();
+
+  EXPECT_EQ(a.arrivals.size(), 0u);
+  EXPECT_EQ(b.arrivals.size(), 0u);
+  EXPECT_EQ(conn.link->forward().stats().dropped_loss, 1u);
+  EXPECT_EQ(conn.link->reverse().stats().dropped_loss, 1u);
+  // Trace records name the owning link per direction — not a literal
+  // "link" — so multi-link topologies stay attributable.
+  ASSERT_EQ(ring.records().size(), 2u);
+  EXPECT_EQ(ring.records()[0].event, obs::TraceEvent::kLinkLoss);
+  EXPECT_EQ(ring.records()[0].component, "alpha->bravo");
+  EXPECT_EQ(ring.records()[1].component, "bravo->alpha");
+
+  conn.link->set_loss(0.0);
+  a.send(0, frame(100));
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(Link, ExtraLatencyDelaysDelivery) {
+  sim::Simulator sim;
+  Network net(sim);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  const auto conn = net.connect(a, b);
+
+  a.send(0, frame(100));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  const sim::TimePoint base = b.arrivals[0].at;
+
+  conn.link->set_extra_latency(sim::Duration::milliseconds(3));
+  const sim::TimePoint resent = sim.now();
+  a.send(0, frame(100));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ((b.arrivals[1].at - resent) - (base - sim::TimePoint::origin()),
+            sim::Duration::milliseconds(3));
 }
 
 TEST(Link, InFlightPacketStillArrivesAfterCut) {

@@ -1,0 +1,43 @@
+// Tier-1 smoke for the soak harness: a short fault-injected run must
+// complete with zero invariant violations and reproduce bit-identically
+// under the same seed. The full-length version lives in bench/soak_netco.
+#include <gtest/gtest.h>
+
+#include "scenario/soak.h"
+
+namespace netco::scenario {
+namespace {
+
+SoakOptions smoke_options() {
+  SoakOptions options;
+  options.k = 3;
+  options.policy = core::ReleasePolicy::kMajority;
+  options.seed = 77;
+  options.packets = 2500;  // ~0.25 s of sim time at 16 Mbit/s / 200 B
+  return options;
+}
+
+TEST(SoakSmoke, ShortRunHoldsInvariantsUnderFaults) {
+  const SoakResult result = run_soak(smoke_options());
+  EXPECT_TRUE(result.ok()) << "violations=" << result.invariants.violations;
+  for (const auto& detail : result.invariants.details) {
+    ADD_FAILURE() << detail;
+  }
+  EXPECT_GE(result.datagrams_sent, 2500u);
+  EXPECT_GT(result.compare_released, 0u);
+  EXPECT_GT(result.fault_events_applied, 0u);  // the plan actually ran
+  EXPECT_GT(result.audits, 0u);
+  EXPECT_GT(result.invariants.checks, 0u);
+}
+
+TEST(SoakSmoke, SameSeedIsBitReproducible) {
+  const SoakResult a = run_soak(smoke_options());
+  const SoakResult b = run_soak(smoke_options());
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.compare_released, b.compare_released);
+}
+
+}  // namespace
+}  // namespace netco::scenario
