@@ -87,9 +87,9 @@ int main() {
         static_cast<unsigned long long>(a.fault_events_applied),
         static_cast<unsigned long long>(a.audits));
     std::printf(
-        "               %.0f pkt/s, verdict latency p50=%.1fus p95=%.1fus "
-        "p99=%.1fus\n",
-        a.throughput_pps, a.verdict_p50_us, a.verdict_p95_us,
+        "               %.0f pkt/s sim (%.0f pkt/s wall), verdict latency "
+        "p50=%.1fus p95=%.1fus p99=%.1fus\n",
+        a.throughput_pps, a.wall_pps, a.verdict_p50_us, a.verdict_p95_us,
         a.verdict_p99_us);
     std::printf(
         "               invariants: %llu checks, %llu violations; "
@@ -107,6 +107,7 @@ int main() {
         "%s\n{\"name\":\"%s\",\"k\":%d,\"policy\":\"%s\","
         "\"packets\":%llu,\"ingested\":%llu,\"released\":%llu,"
         "\"delivered_unique\":%llu,\"throughput_pps\":%.1f,"
+        "\"wall_pps\":%.1f,"
         "\"verdict_latency_us\":{\"p50\":%.2f,\"p95\":%.2f,\"p99\":%.2f},"
         "\"invariants\":{\"checks\":%llu,\"violations\":%llu},"
         "\"fault_events_applied\":%llu,\"trace_records\":%llu,"
@@ -118,7 +119,7 @@ int main() {
         static_cast<unsigned long long>(a.compare_ingested),
         static_cast<unsigned long long>(a.compare_released),
         static_cast<unsigned long long>(a.delivered_unique),
-        a.throughput_pps, a.verdict_p50_us, a.verdict_p95_us,
+        a.throughput_pps, a.wall_pps, a.verdict_p50_us, a.verdict_p95_us,
         a.verdict_p99_us,
         static_cast<unsigned long long>(a.invariants.checks),
         static_cast<unsigned long long>(a.invariants.violations),

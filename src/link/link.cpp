@@ -17,6 +17,8 @@ void Channel::send(net::Packet packet) {
     ++stats_.dropped_loss;
     obs::Tracer& tracer = obs_->tracer;
     if (tracer.enabled()) {
+      // packet_id is the memoized content hash (shared across COW copies);
+      // a loss/drop record therefore never re-hashes the payload.
       tracer.emit(simulator_.now().ns(), obs::TraceEvent::kLinkLoss,
                   packet.content_hash(), label_, -1,
                   static_cast<std::uint32_t>(packet.size()));

@@ -46,7 +46,10 @@ bool CompareCore::same_packet(const net::Packet& a,
                               const net::Packet& b) const {
   switch (config_.mode) {
     case CompareMode::kFullPacket:
-      return a == b;  // the paper's memcmp()
+      // The paper's memcmp(). In the honest case the k copies still share
+      // the hub's payload buffer, so this is a pointer comparison; only a
+      // tampered (detached) copy pays for a byte-wise compare.
+      return a == b;
     case CompareMode::kHeaderOnly: {
       const std::size_t n = config_.header_prefix;
       const auto pa = a.bytes(), pb = b.bytes();
@@ -65,6 +68,10 @@ void CompareCore::trace(obs::TraceEvent event, const net::Packet& packet,
                         sim::TimePoint now, int replica) {
   obs::Tracer& tracer = obs_->tracer;
   if (!tracer.enabled()) [[likely]] return;
+  // content_hash() is memoized in the packet's shared payload buffer:
+  // key_of() already computed it on ingest, so every lifecycle record an
+  // entry emits afterwards (release, evict, duplicate, expire...) reads
+  // the cached value instead of rehashing the payload.
   tracer.emit(now.ns(), event, packet.content_hash(), trace_label_, replica,
               static_cast<std::uint32_t>(packet.size()));
 }
@@ -154,7 +161,8 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
   const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
 
   if (it == cache_.end()) {
-    // First copy of a (possibly fabricated) packet.
+    // First copy of a (possibly fabricated) packet. Caching the exemplar
+    // is a refcount bump on the shared payload, not a deep copy.
     Entry entry;
     entry.key = key;
     entry.base_key = base;

@@ -14,11 +14,14 @@ void Hub::handle_packet(device::PortIndex in_port, net::Packet packet) {
       const std::size_t copies = port_count() > 0 ? port_count() - 1 : 0;
       fanout_counter_->inc(copies);
       if (tracer.enabled()) {
+        // content_hash() memoizes into the shared payload buffer, so this
+        // one computation is the id every downstream copy (replica
+        // forwards, compare ingests) reuses for free.
         tracer.emit(simulator().now().ns(), obs::TraceEvent::kHubIngress,
                     p.content_hash(), name(), -1,
                     static_cast<std::uint32_t>(p.size()));
       }
-      flood(0, p);  // copy to every non-upstream port
+      flood(0, p);  // COW fan-out: each copy is a refcount bump
     } else {
       ++merged_;
       merge_counter_->inc();

@@ -12,7 +12,9 @@ bool SamplingEdgeLogic::is_sampled(const net::Packet& packet) const noexcept {
   // Deterministic content hash → uniform [0,1) threshold test. Identical
   // copies sample identically; a *modified* copy may sample differently,
   // which surfaces at the compare as an unconfirmed singleton — still a
-  // detection signal.
+  // detection signal. content_hash() is memoized in the shared payload
+  // buffer, so across the k copies of a datagram the payload is hashed
+  // once, not once per edge decision.
   const std::uint64_t mixed = hash_mix(packet.content_hash(), 0x5A4D);
   const double u =
       static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0,1)

@@ -10,6 +10,9 @@ SimulatorSampler::SimulatorSampler(sim::Simulator& simulator,
       pending_depth_((context != nullptr ? *context : global())
                          .metrics.histogram("sim.events_pending",
                                             default_queue_depth_buckets())),
+      queue_depth_((context != nullptr ? *context : global())
+                       .metrics.histogram("sim.queue_size",
+                                          default_queue_depth_buckets())),
       executed_((context != nullptr ? *context : global())
                     .metrics.counter("sim.events_executed")),
       sample_count_((context != nullptr ? *context : global())
@@ -25,6 +28,7 @@ void SimulatorSampler::stop() noexcept { handle_.cancel(); }
 
 void SimulatorSampler::tick() {
   pending_depth_.observe(static_cast<double>(simulator_.events_pending()));
+  queue_depth_.observe(static_cast<double>(simulator_.queue_size()));
   const std::uint64_t executed = simulator_.events_executed();
   executed_.inc(executed - last_executed_);
   last_executed_ = executed;

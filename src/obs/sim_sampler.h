@@ -1,10 +1,12 @@
 // SimulatorSampler: periodic event-loop occupancy sampling.
 //
-// Records, every `period` of simulated time, the simulator's queue depth
-// (events_pending) into a histogram and the number of events executed
-// since the previous sample into a counter — the event-loop occupancy
-// signal the ROADMAP perf PRs diff before/after. The sampling events are
-// themselves scheduled deterministically, so runs remain bit-reproducible.
+// Records, every `period` of simulated time, the simulator's live event
+// count (events_pending) and raw queue occupancy (queue_size, which
+// includes cancelled tombstones awaiting lazy purge) into histograms, and
+// the number of events executed since the previous sample into a counter —
+// the event-loop occupancy signal the ROADMAP perf PRs diff before/after.
+// The sampling events are themselves scheduled deterministically, so runs
+// remain bit-reproducible.
 #pragma once
 
 #include "obs/observability.h"
@@ -39,6 +41,7 @@ class SimulatorSampler {
   sim::Simulator& simulator_;
   sim::Duration period_;
   Histogram& pending_depth_;
+  Histogram& queue_depth_;
   Counter& executed_;
   Counter& sample_count_;
   std::uint64_t last_executed_ = 0;

@@ -9,7 +9,9 @@
 // Records are keyed by a *stable packet id* — the FNV-1a content hash of
 // the wire bytes — so the k copies a hub multiplies share one id and the
 // compare's verdict can be joined against the hub ingress that started the
-// lifecycle. The simulator is bit-reproducible (same seed → identical
+// lifecycle. Call sites pass the id precomputed via Packet::content_hash(),
+// which is memoized in the packet's shared COW payload buffer: one hash
+// per payload generation, no matter how many records a lifecycle emits. The simulator is bit-reproducible (same seed → identical
 // event order), so the serialized trace stream is itself a deterministic
 // artifact: the golden-trace tests byte-compare whole runs.
 //

@@ -136,6 +136,9 @@ void OpenFlowSwitch::count_tx(const net::Packet& packet,
     // Every egress of an (untrusted) switch is a lifecycle hop: the record
     // places the packet id at this switch at this instant, which is what
     // makes compare verdicts attributable to a concrete forwarding path.
+    // The id is the memoized content hash — computed at the hub ingress
+    // (or the first hop that asked) and shared by every COW copy, so a
+    // packet crossing h switches is hashed once, not h times.
     tracer.emit(simulator().now().ns(), obs::TraceEvent::kReplicaForward,
                 packet.content_hash(), name(),
                 static_cast<std::int32_t>(port),

@@ -1,6 +1,7 @@
 #include "scenario/soak.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.h"
 #include "faultinject/injector.h"
@@ -85,6 +86,7 @@ SoakResult run_soak(const SoakOptions& options) {
     ++result.audits;
   };
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sender.start();
   // Hard stop at 8× the expected duration: the soak must terminate even
   // if a future regression stalls the sender.
@@ -103,6 +105,10 @@ SoakResult run_soak(const SoakOptions& options) {
       topo_options.combiner.compare.hold_timeout;
   topo.simulator().run_for(hold * 3 + sim::Duration::milliseconds(100));
   audit_cores();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   result.datagrams_sent = sender.stats().datagrams_sent;
   result.delivered_unique = sink.report().unique_received;
@@ -121,6 +127,11 @@ SoakResult run_soak(const SoakOptions& options) {
   result.throughput_pps =
       result.sim_seconds > 0.0
           ? static_cast<double>(result.datagrams_sent) / result.sim_seconds
+          : 0.0;
+  result.wall_seconds = wall_seconds;
+  result.wall_pps =
+      wall_seconds > 0.0
+          ? static_cast<double>(result.datagrams_sent) / wall_seconds
           : 0.0;
   const obs::Histogram& verdict =
       obs.metrics.histogram("compare.verdict_latency_us");

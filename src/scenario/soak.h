@@ -53,6 +53,11 @@ struct SoakResult {
   std::uint64_t audits = 0;
   double sim_seconds = 0.0;
   double throughput_pps = 0.0;  ///< offered datagrams / sim second
+  /// Wall-clock cost of the run: how fast the *simulator* chews through
+  /// the workload. Not deterministic (excluded from the double-run
+  /// comparison); this is the hot-path number perf PRs move.
+  double wall_seconds = 0.0;
+  double wall_pps = 0.0;  ///< offered datagrams / wall second
   /// Verdict latency percentiles (µs) from "compare.verdict_latency_us".
   double verdict_p50_us = 0.0;
   double verdict_p95_us = 0.0;

@@ -7,26 +7,32 @@
 namespace netco::sim {
 
 void EventHandle::cancel() noexcept {
-  if (auto flag = cancelled_.lock()) *flag = true;
+  if (auto slab = slab_.lock()) {
+    // The slot itself stays reserved until the tombstone pops; only the
+    // liveness accounting changes here.
+    if (slab->invalidate(slot_, generation_)) --slab->live;
+  }
 }
 
 bool EventHandle::pending() const noexcept {
-  auto flag = cancelled_.lock();
-  return flag != nullptr && !*flag;
+  const auto slab = slab_.lock();
+  return slab != nullptr && slab->matches(slot_, generation_);
 }
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(std::uint64_t seed)
+    : slab_(std::make_shared<detail::CancelSlab>()), rng_(seed) {}
 
-EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
   NETCO_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
-  NETCO_ASSERT(fn != nullptr);
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{cancelled};
-  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+  NETCO_ASSERT(static_cast<bool>(fn));
+  const std::uint32_t slot = slab_->acquire();
+  const std::uint64_t generation = slab_->generation[slot];
+  ++slab_->live;
+  queue_.push(Event{at, next_seq_++, generation, slot, std::move(fn)});
+  return EventHandle{slab_, slot, generation};
 }
 
-EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
   NETCO_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
@@ -34,12 +40,23 @@ EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) 
 bool Simulator::step(TimePoint deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
+    if (!slab_->matches(top.slot, top.generation)) {
+      // Tombstone: cancelled while queued. Purge regardless of deadline —
+      // it will never run, and draining the run now keeps the queue lean.
+      const std::uint32_t slot = top.slot;
+      queue_.pop();
+      slab_->release(slot);
+      continue;
+    }
     if (top.at > deadline) return false;
     // Move the event out before running: the callback may schedule more
     // events and reallocate the underlying heap.
     Event event = std::move(const_cast<Event&>(top));
     queue_.pop();
-    if (*event.cancelled) continue;  // tombstone
+    // Fired: handles must stop reporting pending, and the slot recycles.
+    ++slab_->generation[event.slot];
+    slab_->release(event.slot);
+    --slab_->live;
     now_ = event.at;
     ++executed_;
     event.fn();

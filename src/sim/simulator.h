@@ -4,23 +4,73 @@
 // instant fire in scheduling order (a monotonically increasing sequence
 // number breaks ties), which makes every run bit-reproducible for a given
 // seed and event program.
+//
+// Hot-path design: scheduling an event performs zero heap allocations in
+// the common case. The callback lives inline in the event record (see
+// sim/callback.h), and cancellation is a generation counter in a slab the
+// simulator owns — an EventHandle is (slab, slot, generation), and a
+// cancelled or fired event simply stops matching its slot's generation.
+// Cancelled events stay in the priority queue as tombstones until they
+// reach the top, where they are purged without executing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace netco::sim {
 
+namespace detail {
+
+/// Cancellation slab: one generation counter per event slot. A scheduled
+/// event and its handles agree on (slot, generation); bumping the counter
+/// invalidates both. Slots are recycled through a free list, so a
+/// simulator's steady state performs no allocation per event.
+struct CancelSlab {
+  std::vector<std::uint64_t> generation;
+  std::vector<std::uint32_t> free_slots;
+  std::size_t live = 0;  ///< scheduled, not yet cancelled or fired
+
+  /// Reserves a slot; its current generation labels the new event.
+  std::uint32_t acquire() {
+    if (!free_slots.empty()) {
+      const std::uint32_t slot = free_slots.back();
+      free_slots.pop_back();
+      return slot;
+    }
+    generation.push_back(0);
+    return static_cast<std::uint32_t>(generation.size() - 1);
+  }
+
+  /// True while (slot, gen) names a scheduled, uncancelled event.
+  [[nodiscard]] bool matches(std::uint32_t slot,
+                             std::uint64_t gen) const noexcept {
+    return generation[slot] == gen;
+  }
+
+  /// Invalidates (slot, gen); returns false if it already was.
+  bool invalidate(std::uint32_t slot, std::uint64_t gen) noexcept {
+    if (!matches(slot, gen)) return false;
+    ++generation[slot];
+    return true;
+  }
+
+  /// Returns a slot to the free list once its event left the queue.
+  void release(std::uint32_t slot) { free_slots.push_back(slot); }
+};
+
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event.
 ///
-/// Holds a weak reference; cancelling after the event fired (or after the
-/// simulator died) is a harmless no-op. Copyable.
+/// Holds a weak reference to the simulator's cancellation slab; cancelling
+/// after the event fired (or after the simulator died) is a harmless
+/// no-op. Copyable, and copying never allocates.
 class EventHandle {
  public:
   EventHandle() noexcept = default;
@@ -33,9 +83,13 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> cancelled) noexcept
-      : cancelled_(std::move(cancelled)) {}
-  std::weak_ptr<bool> cancelled_;
+  EventHandle(std::weak_ptr<detail::CancelSlab> slab, std::uint32_t slot,
+              std::uint64_t generation) noexcept
+      : slab_(std::move(slab)), slot_(slot), generation_(generation) {}
+
+  std::weak_ptr<detail::CancelSlab> slab_;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// The event loop. One instance per simulated network.
@@ -53,10 +107,10 @@ class Simulator {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   /// Schedules `fn` to run at absolute time `at` (>= now).
-  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint at, Callback fn);
 
   /// Schedules `fn` to run `delay` from now (delay >= 0).
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, Callback fn);
 
   /// Runs events until the queue drains or `stop()` is called.
   void run();
@@ -77,8 +131,17 @@ class Simulator {
     return executed_;
   }
 
-  /// Number of events currently queued (including cancelled tombstones).
+  /// Number of *live* events scheduled and not yet cancelled or fired.
+  /// Cancelled tombstones are excluded (they still sit in the queue until
+  /// lazily purged, see queue_size()).
   [[nodiscard]] std::size_t events_pending() const noexcept {
+    return slab_->live;
+  }
+
+  /// Raw priority-queue occupancy, including cancelled tombstones that
+  /// have not bubbled up to the top yet. queue_size() - events_pending()
+  /// is the current tombstone debt.
+  [[nodiscard]] std::size_t queue_size() const noexcept {
     return queue_.size();
   }
 
@@ -86,8 +149,9 @@ class Simulator {
   struct Event {
     TimePoint at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t generation;
+    std::uint32_t slot;
+    Callback fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -96,7 +160,9 @@ class Simulator {
     }
   };
 
-  /// Pops and runs a single event; returns false if the queue is empty.
+  /// Pops and runs a single event; returns false if no runnable event
+  /// remains at or before `deadline`. Purges tombstone runs encountered at
+  /// the top of the queue (even past the deadline — they will never run).
   bool step(TimePoint deadline);
 
   TimePoint now_;
@@ -104,6 +170,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::shared_ptr<detail::CancelSlab> slab_;
   Rng rng_;
 };
 

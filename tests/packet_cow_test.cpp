@@ -1,0 +1,173 @@
+// COW aliasing + hash memoization semantics for net::Packet.
+//
+// The zero-copy fabric rests on two invariants: (1) duplicating a packet
+// then mutating one copy never affects its siblings (value semantics are
+// preserved exactly), and (2) the memoized content/prefix hashes are
+// invalidated by every mutator, so a memoized value always equals the
+// from-scratch FNV-1a of the current bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/hash.h"
+#include "net/address.h"
+#include "net/packet.h"
+
+namespace netco::net {
+namespace {
+
+Packet numbered_packet(std::size_t n = 64) {
+  std::vector<std::byte> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<std::byte>(i * 7 + 3);
+  }
+  return Packet(std::move(bytes));
+}
+
+/// From-scratch reference hash of the packet's current bytes.
+std::uint64_t reference_hash(const Packet& p) { return fnv1a(p.bytes()); }
+
+TEST(PacketCow, CopyAliasesUntilMutation) {
+  Packet a = numbered_packet();
+  Packet b = a;
+  EXPECT_TRUE(a.shares_payload_with(b));
+  EXPECT_EQ(a, b);
+
+  b.set_u8(0, 0xFF);
+  EXPECT_FALSE(a.shares_payload_with(b));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.u8(0), numbered_packet().u8(0)) << "sibling was mutated";
+}
+
+TEST(PacketCow, MutatingOneCopyNeverAffectsSiblings) {
+  const Packet original = numbered_packet();
+  // One mutation of each kind, applied to a fresh alias of `original`.
+  const std::vector<void (*)(Packet&)> mutators = {
+      [](Packet& p) { p.bytes_mut()[1] = std::byte{0xEE}; },
+      [](Packet& p) { p.set_u8(2, 0xFF); },
+      [](Packet& p) { p.set_u16be(4, 0xBEEF); },
+      [](Packet& p) { p.set_u32be(8, 0xDEADBEEF); },
+      [](Packet& p) { p.set_mac_at(0, MacAddress::from_id(0xABCDEF)); },
+      [](Packet& p) { p.resize(128); },
+      [](Packet& p) { p.insert_zeros(10, 4); },
+      [](Packet& p) { p.erase(10, 4); },
+      [](Packet& p) {
+        const std::byte tail[] = {std::byte{1}, std::byte{2}};
+        p.append(tail);
+      },
+  };
+  for (std::size_t i = 0; i < mutators.size(); ++i) {
+    Packet copy = original;
+    ASSERT_TRUE(copy.shares_payload_with(original));
+    mutators[i](copy);
+    EXPECT_FALSE(copy.shares_payload_with(original)) << "mutator " << i;
+    EXPECT_EQ(original, numbered_packet())
+        << "mutator " << i << " leaked into the shared buffer";
+    EXPECT_NE(copy, original) << "mutator " << i << " had no effect";
+  }
+}
+
+TEST(PacketCow, EveryMutatorInvalidatesTheMemoizedHash) {
+  const std::vector<void (*)(Packet&)> mutators = {
+      [](Packet& p) { p.bytes_mut()[1] = std::byte{0xEE}; },
+      [](Packet& p) { p.set_u8(2, 0xFF); },
+      [](Packet& p) { p.set_u16be(4, 0xBEEF); },
+      [](Packet& p) { p.set_u32be(8, 0xDEADBEEF); },
+      [](Packet& p) { p.set_mac_at(0, MacAddress::from_id(0xABCDEF)); },
+      [](Packet& p) { p.resize(128); },
+      [](Packet& p) { p.insert_zeros(10, 4); },
+      [](Packet& p) { p.erase(10, 4); },
+      [](Packet& p) {
+        const std::byte tail[] = {std::byte{1}, std::byte{2}};
+        p.append(tail);
+      },
+  };
+  for (std::size_t i = 0; i < mutators.size(); ++i) {
+    // Unique buffer: mutation happens in place, memo must still die.
+    Packet p = numbered_packet();
+    const std::uint64_t before = p.content_hash();  // memoize
+    (void)p.prefix_hash(16);                        // memoize prefix too
+    mutators[i](p);
+    EXPECT_NE(p.content_hash(), before) << "mutator " << i;
+    EXPECT_EQ(p.content_hash(), reference_hash(p)) << "mutator " << i;
+    EXPECT_EQ(p.prefix_hash(16), fnv1a(p.bytes().first(16)))
+        << "mutator " << i;
+
+    // Shared buffer: mutation detaches; both sides must hash correctly.
+    Packet shared_a = numbered_packet();
+    Packet shared_b = shared_a;
+    (void)shared_a.content_hash();
+    mutators[i](shared_b);
+    EXPECT_EQ(shared_a.content_hash(), reference_hash(shared_a))
+        << "mutator " << i;
+    EXPECT_EQ(shared_b.content_hash(), reference_hash(shared_b))
+        << "mutator " << i;
+    EXPECT_NE(shared_a.content_hash(), shared_b.content_hash())
+        << "mutator " << i;
+  }
+}
+
+TEST(PacketCow, MemoizedHashEqualsFreshFnv) {
+  Packet p = numbered_packet(200);
+  const std::uint64_t first = p.content_hash();
+  EXPECT_EQ(first, reference_hash(p));
+  EXPECT_EQ(p.content_hash(), first) << "memoized call diverged";
+
+  // Copies share the memo; the value is still the bytes' FNV-1a.
+  const Packet copy = p;
+  EXPECT_EQ(copy.content_hash(), first);
+
+  // Prefix hashes: memoized slot follows the requested length.
+  EXPECT_EQ(p.prefix_hash(58), fnv1a(p.bytes().first(58)));
+  EXPECT_EQ(p.prefix_hash(58), fnv1a(p.bytes().first(58)));
+  EXPECT_EQ(p.prefix_hash(14), fnv1a(p.bytes().first(14)));
+  // A prefix covering the whole packet equals the content hash.
+  EXPECT_EQ(p.prefix_hash(200), first);
+  EXPECT_EQ(p.prefix_hash(500), first);
+}
+
+TEST(PacketCow, EmptyPacketHashAndEquality) {
+  const Packet a;
+  const Packet b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.content_hash(), kFnvOffset);
+  EXPECT_EQ(a.content_hash(), fnv1a({}));
+  EXPECT_EQ(a.prefix_hash(10), kFnvOffset);
+  EXPECT_EQ(a, Packet::zeroed(0));
+}
+
+TEST(PacketCow, EqualityAcrossDetachedEqualBuffers) {
+  Packet a = numbered_packet();
+  Packet b = a;
+  b.set_u8(0, 0xFF);
+  b.set_u8(0, a.u8(0));  // back to the original value, distinct buffer
+  EXPECT_FALSE(a.shares_payload_with(b));
+  EXPECT_EQ(a, b);
+  // Memoized-hash fast reject must not produce false negatives.
+  (void)a.content_hash();
+  (void)b.content_hash();
+  EXPECT_EQ(a, b);
+}
+
+TEST(PacketCow, BytesMutDetachesFromSiblings) {
+  Packet a = numbered_packet();
+  Packet b = a;
+  (void)a.content_hash();
+  auto view = b.bytes_mut();
+  view[0] = std::byte{0x99};
+  EXPECT_FALSE(a.shares_payload_with(b));
+  EXPECT_EQ(a, numbered_packet());
+  EXPECT_EQ(b.content_hash(), reference_hash(b));
+  EXPECT_NE(b.content_hash(), a.content_hash());
+}
+
+TEST(PacketCow, MoveTransfersTheBufferWithoutCopy) {
+  Packet a = numbered_packet();
+  const Packet alias = a;
+  Packet moved = std::move(a);
+  EXPECT_TRUE(moved.shares_payload_with(alias));
+  EXPECT_EQ(moved, numbered_packet());
+}
+
+}  // namespace
+}  // namespace netco::net

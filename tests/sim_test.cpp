@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event simulator.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -129,6 +133,109 @@ TEST(Simulator, CountsExecutedEvents) {
     sim.schedule_after(Duration::milliseconds(i), [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, EventsPendingExcludesCancelledTombstones) {
+  Simulator sim;
+  EventHandle a = sim.schedule_after(Duration::milliseconds(1), [] {});
+  EventHandle b = sim.schedule_after(Duration::milliseconds(2), [] {});
+  sim.schedule_after(Duration::milliseconds(3), [] {});
+  EXPECT_EQ(sim.events_pending(), 3u);
+  EXPECT_EQ(sim.queue_size(), 3u);
+
+  b.cancel();
+  EXPECT_EQ(sim.events_pending(), 2u) << "tombstone counted as pending";
+  EXPECT_EQ(sim.queue_size(), 3u) << "tombstone purged eagerly";
+  b.cancel();  // idempotent: must not double-decrement
+  EXPECT_EQ(sim.events_pending(), 2u);
+
+  a.cancel();
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
+TEST(Simulator, TombstoneRunsPurgeLazilyAtPop) {
+  Simulator sim;
+  // A run of cancelled events ahead of the deadline plus one live event
+  // far beyond it: stepping to the deadline must drain the tombstones
+  // even though the live event stays queued.
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(
+        sim.schedule_after(Duration::milliseconds(1 + i), [] {}));
+  }
+  bool late_ran = false;
+  sim.schedule_after(Duration::seconds(1), [&] { late_ran = true; });
+  for (auto& handle : handles) handle.cancel();
+
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(100));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_EQ(sim.queue_size(), 1u) << "tombstone run not purged at pop";
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, SlotReuseKeepsOldHandlesDead) {
+  Simulator sim;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventHandle first =
+      sim.schedule_after(Duration::milliseconds(1), [&] { first_ran = true; });
+  first.cancel();
+  sim.run();  // pops the tombstone, recycling its slot
+  // The recycled slot now carries a later generation.
+  EventHandle second =
+      sim.schedule_after(Duration::milliseconds(1), [&] { second_ran = true; });
+  EXPECT_FALSE(first.pending());
+  EXPECT_TRUE(second.pending());
+  first.cancel();  // must not cancel the new occupant of the slot
+  EXPECT_TRUE(second.pending());
+  sim.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, CancelAfterSimulatorDeathIsNoop) {
+  EventHandle handle;
+  {
+    Simulator sim;
+    handle = sim.schedule_after(Duration::milliseconds(1), [] {});
+    EXPECT_TRUE(handle.pending());
+  }
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash
+}
+
+TEST(Simulator, MoveOnlyCapturesAreSupported) {
+  Simulator sim;
+  auto value = std::make_unique<int>(41);
+  int observed = 0;
+  sim.schedule_after(Duration::milliseconds(1),
+                     [v = std::move(value)] { });
+  sim.schedule_after(Duration::milliseconds(2),
+                     [p = std::make_unique<int>(7), &observed] {
+                       observed = *p;
+                     });
+  sim.run();
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(Simulator, OversizedCapturesFallBackToHeap) {
+  Simulator sim;
+  // A capture larger than Callback's inline budget must still work.
+  std::array<std::uint64_t, 16> big{};
+  big.fill(3);
+  static_assert(sizeof(big) > Callback::kInlineBytes);
+  std::uint64_t sum = 0;
+  sim.schedule_after(Duration::milliseconds(1), [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 48u);
 }
 
 TEST(Simulator, ZeroDelayRunsAtCurrentTime) {

@@ -39,5 +39,19 @@ TEST(SoakSmoke, SameSeedIsBitReproducible) {
   EXPECT_EQ(a.compare_released, b.compare_released);
 }
 
+TEST(SoakSmoke, SameSeedIsBitReproducibleK2FirstCopy) {
+  SoakOptions options = smoke_options();
+  options.k = 2;
+  options.policy = core::ReleasePolicy::kFirstCopy;
+  options.seed = 101;
+  const SoakResult a = run_soak(options);
+  const SoakResult b = run_soak(options);
+  EXPECT_TRUE(a.ok()) << "violations=" << a.invariants.violations;
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.compare_released, b.compare_released);
+}
+
 }  // namespace
 }  // namespace netco::scenario
