@@ -28,6 +28,8 @@ struct SoakConfig {
   /// packet-in capacity (~80k/s for the c_program profile) — overload
   /// would drown the fault dynamics in steady-state queue drops.
   std::uint64_t rate_mbps;
+  /// Run with the replica-health loop (quarantine/readmit) enabled.
+  bool health = false;
 };
 
 std::uint64_t packets_per_run() {
@@ -46,9 +48,12 @@ int main() {
   using scenario::SoakResult;
 
   const SoakConfig configs[] = {
-      {"k2-firstcopy", 2, core::ReleasePolicy::kFirstCopy, 24},
-      {"k3-majority", 3, core::ReleasePolicy::kMajority, 16},
-      {"k5-majority", 5, core::ReleasePolicy::kMajority, 10},
+      {"k2-firstcopy", 2, core::ReleasePolicy::kFirstCopy, 24, false},
+      {"k3-majority", 3, core::ReleasePolicy::kMajority, 16, false},
+      {"k5-majority", 5, core::ReleasePolicy::kMajority, 10, false},
+      // Same circuit and fault plan as k5-majority, but with the health
+      // loop closing on the byzantine swaps and crashes the plan injects.
+      {"k5-health", 5, core::ReleasePolicy::kMajority, 10, true},
   };
   const std::uint64_t packets = packets_per_run();
 
@@ -69,6 +74,7 @@ int main() {
     options.seed = 0xDECAFBAD ^ static_cast<std::uint64_t>(config.k);
     options.packets = packets;
     options.rate = DataRate::megabits_per_sec(config.rate_mbps);
+    options.health.enabled = config.health;
 
     const SoakResult a = scenario::run_soak(options);
     const SoakResult b = scenario::run_soak(options);
@@ -97,11 +103,23 @@ int main() {
         static_cast<unsigned long long>(a.invariants.checks),
         static_cast<unsigned long long>(a.invariants.violations),
         deterministic ? "yes" : "NO", ok ? "OK" : "FAIL");
+    if (config.health) {
+      std::printf(
+          "               health: %llu quarantines (%llu readmits, %llu "
+          "bans), first at %.1fms, tail goodput %.3f\n",
+          static_cast<unsigned long long>(a.health_quarantines),
+          static_cast<unsigned long long>(a.health_readmits),
+          static_cast<unsigned long long>(a.health_bans),
+          a.first_quarantine_ns >= 0
+              ? static_cast<double>(a.first_quarantine_ns) / 1e6
+              : -1.0,
+          a.tail_goodput_ratio);
+    }
     for (const std::string& detail : a.invariants.details) {
       std::printf("               violation: %s\n", detail.c_str());
     }
 
-    char buf[512];
+    char buf[832];
     std::snprintf(
         buf, sizeof buf,
         "%s\n{\"name\":\"%s\",\"k\":%d,\"policy\":\"%s\","
@@ -111,6 +129,9 @@ int main() {
         "\"verdict_latency_us\":{\"p50\":%.2f,\"p95\":%.2f,\"p99\":%.2f},"
         "\"invariants\":{\"checks\":%llu,\"violations\":%llu},"
         "\"fault_events_applied\":%llu,\"trace_records\":%llu,"
+        "\"health\":{\"enabled\":%s,\"quarantines\":%llu,\"readmits\":%llu,"
+        "\"bans\":%llu,\"probe_windows\":%llu,\"first_quarantine_ns\":%lld,"
+        "\"first_readmit_ns\":%lld,\"tail_goodput_ratio\":%.4f},"
         "\"stream_hash\":\"%016llx\",\"deterministic\":%s}",
         first ? "" : ",", config.name, config.k,
         config.policy == core::ReleasePolicy::kFirstCopy ? "first_copy"
@@ -125,6 +146,13 @@ int main() {
         static_cast<unsigned long long>(a.invariants.violations),
         static_cast<unsigned long long>(a.fault_events_applied),
         static_cast<unsigned long long>(a.trace_records),
+        config.health ? "true" : "false",
+        static_cast<unsigned long long>(a.health_quarantines),
+        static_cast<unsigned long long>(a.health_readmits),
+        static_cast<unsigned long long>(a.health_bans),
+        static_cast<unsigned long long>(a.health_probe_windows),
+        static_cast<long long>(a.first_quarantine_ns),
+        static_cast<long long>(a.first_readmit_ns), a.tail_goodput_ratio,
         static_cast<unsigned long long>(a.stream_hash),
         deterministic ? "true" : "false");
     json += buf;

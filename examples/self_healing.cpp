@@ -1,0 +1,86 @@
+// Self-healing combiner: the health loop (src/health) quarantines a
+// byzantine replica and readmits a crashed-then-recovered one — the two
+// recovery paths the subsystem exists for.
+//
+//   Act 1: replica 1 starts corrupting payloads mid-run. Its copies die as
+//          attributable singletons, the deviation score saturates, and the
+//          QuarantineManager masks it out of the fan-out — goodput recovers
+//          while the replica only receives the probation trickle.
+//   Act 2: replica 3 crashes and later restarts honest. Quarantined while
+//          dark, it matches every probation probe after the restart and is
+//          readmitted into the quorum.
+//
+//   ./build/examples/self_healing
+#include <cstdio>
+
+#include "scenario/soak.h"
+
+int main() {
+  using namespace netco;
+
+  scenario::SoakOptions options;
+  options.k = 5;
+  options.policy = core::ReleasePolicy::kMajority;
+  options.seed = 42;
+  options.packets = 40'000;
+  options.rate = DataRate::megabits_per_sec(10);
+  options.inject_default_faults = false;
+  options.health.enabled = true;
+
+  // The script: corrupt swap at 600 ms (never swapped back — the health
+  // loop, not the plan, has to contain it), crash at 1.5 s, restart at
+  // 2.2 s (probation must notice the recovery and readmit).
+  faultinject::FaultEvent corrupt;
+  corrupt.at_ns = sim::Duration::milliseconds(600).ns();
+  corrupt.kind = faultinject::FaultKind::kBehaviorSwap;
+  corrupt.replica = 1;
+  corrupt.behavior = faultinject::SwapBehavior::kCorrupt;
+  faultinject::FaultEvent crash;
+  crash.at_ns = sim::Duration::milliseconds(1500).ns();
+  crash.kind = faultinject::FaultKind::kReplicaCrash;
+  crash.replica = 3;
+  faultinject::FaultEvent restart;
+  restart.at_ns = sim::Duration::milliseconds(2200).ns();
+  restart.kind = faultinject::FaultKind::kReplicaRestart;
+  restart.replica = 3;
+  options.plan.events = {corrupt, crash, restart};
+  options.plan.normalize();
+
+  std::printf("=== Self-healing combiner (k=5, health loop on) ===\n\n");
+  std::printf("t=600ms  replica 1 turns byzantine (payload corruption)\n");
+  std::printf("t=1.5s   replica 3 crashes\n");
+  std::printf("t=2.2s   replica 3 restarts, honest\n\n");
+
+  const scenario::SoakResult r = scenario::run_soak(options);
+
+  std::printf("offered %llu datagrams, delivered %llu unique\n",
+              static_cast<unsigned long long>(r.datagrams_sent),
+              static_cast<unsigned long long>(r.delivered_unique));
+  std::printf("health: %llu quarantines, %llu readmits, %llu bans, "
+              "%llu probation windows\n",
+              static_cast<unsigned long long>(r.health_quarantines),
+              static_cast<unsigned long long>(r.health_readmits),
+              static_cast<unsigned long long>(r.health_bans),
+              static_cast<unsigned long long>(r.health_probe_windows));
+  if (r.first_quarantine_ns >= 0) {
+    std::printf("first quarantine at t=%.1f ms — %.1f ms after the swap\n",
+                static_cast<double>(r.first_quarantine_ns) / 1e6,
+                static_cast<double>(r.first_quarantine_ns) / 1e6 - 600.0);
+  }
+  if (r.first_readmit_ns >= 0) {
+    std::printf("first readmission at t=%.1f ms — %.1f ms after the restart\n",
+                static_cast<double>(r.first_readmit_ns) / 1e6,
+                static_cast<double>(r.first_readmit_ns) / 1e6 - 2200.0);
+  }
+  std::printf("tail goodput (last quarter of the run): %.1f%%\n",
+              r.tail_goodput_ratio * 100.0);
+  std::printf("invariants: %llu checks, %llu violations\n\n",
+              static_cast<unsigned long long>(r.invariants.checks),
+              static_cast<unsigned long long>(r.invariants.violations));
+  std::printf(
+      "The verdict stream turned the paper's administrator alarms into a\n"
+      "closed loop: the corrupting replica was cut out of the fan-out and\n"
+      "the quorum shrank around it, while the crashed replica earned its\n"
+      "way back in through probation probes.\n");
+  return r.ok() ? 0 : 1;
+}

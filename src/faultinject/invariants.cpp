@@ -81,8 +81,16 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
                   return it != comp->second.end() ? it->second : 0ULL;
                 }()
               : 0ULL;
-      const int vote_count = std::popcount(mask);
-      const int needed = config_.first_copy ? 1 : config_.quorum;
+      std::uint64_t counted = mask;
+      int needed = config_.first_copy ? 1 : config_.quorum;
+      if (config_.k > 0) {
+        // Adaptive mode: mirror CompareCore's live-set rules against the
+        // health records already folded into quarantined_mask_.
+        counted &= ~quarantined_mask_;
+        const int live = config_.k - std::popcount(quarantined_mask_);
+        needed = (config_.first_copy || live <= 2) ? 1 : live / 2 + 1;
+      }
+      const int vote_count = std::popcount(counted);
       if (vote_count < needed) {
         char buf[128];
         std::snprintf(buf, sizeof buf,
@@ -105,6 +113,17 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
       if (comp != votes_.end()) comp->second.erase(record.packet_id);
       break;
     }
+    case obs::TraceEvent::kHealthQuarantine:
+    case obs::TraceEvent::kHealthBan:
+      if (record.replica >= 0 && record.replica < 64) {
+        quarantined_mask_ |= 1ULL << static_cast<unsigned>(record.replica);
+      }
+      break;
+    case obs::TraceEvent::kHealthReadmit:
+      if (record.replica >= 0 && record.replica < 64) {
+        quarantined_mask_ &= ~(1ULL << static_cast<unsigned>(record.replica));
+      }
+      break;
     default:
       break;
   }

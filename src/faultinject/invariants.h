@@ -59,6 +59,13 @@ class QuorumTraceChecker final : public obs::TraceSink {
     int quorum = 2;
     /// kFirstCopy detection mode: a release needs only one vote.
     bool first_copy = false;
+    /// Replica count. When > 0 the checker tracks health.quarantine /
+    /// health.readmit / health.ban records from the stream and validates
+    /// against the *adaptive* quorum: votes from quarantined replicas
+    /// don't count, the requirement is a strict majority over the live
+    /// set, and a live set of ≤ 2 falls back to first-copy mode — the
+    /// same rules CompareCore applies. 0 keeps the fixed legacy check.
+    int k = 0;
   };
 
   explicit QuorumTraceChecker(Config config, obs::TraceSink* tee = nullptr)
@@ -85,6 +92,8 @@ class QuorumTraceChecker final : public obs::TraceSink {
   std::uint64_t records_ = 0;
   std::uint64_t releases_ = 0;
   std::uint64_t hash_ = kFnvOffset;
+  /// Bit per replica currently quarantined or banned (config_.k mode).
+  std::uint64_t quarantined_mask_ = 0;
   /// component → packet id → replica vote bitmask. Entries die with their
   /// cache entry (release verdict, eviction, or expiry), so the map is
   /// bounded by the compare caches' live size.

@@ -1,6 +1,7 @@
 #include "netco/compare_core.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
@@ -13,6 +14,17 @@ namespace {
 constexpr std::uint64_t kProbeSalt = 0xC01115104EULL;
 }  // namespace
 
+const char* to_string(VerdictKind kind) noexcept {
+  switch (kind) {
+    case VerdictKind::kMatched: return "matched";
+    case VerdictKind::kMissed: return "missed";
+    case VerdictKind::kDivergent: return "divergent";
+    case VerdictKind::kFloodFlagged: return "flood_flagged";
+    case VerdictKind::kInactive: return "inactive";
+  }
+  return "unknown";
+}
+
 CompareCore::CompareCore(CompareConfig config)
     : config_(config),
       obs_(&obs::global()),
@@ -21,6 +33,8 @@ CompareCore::CompareCore(CompareConfig config)
       ingested_counter_(&obs_->metrics.counter("compare.ingested")) {
   NETCO_ASSERT_MSG(config_.k >= 1 && config_.k <= 63,
                    "k must fit the replica bitmask");
+  live_mask_ = (1ULL << static_cast<unsigned>(config_.k)) - 1;
+  live_count_ = config_.k;
   const auto n = static_cast<std::size_t>(config_.k);
   singleton_count_.assign(n, 0);
   arrival_ns_.assign(n, {});
@@ -28,6 +42,7 @@ CompareCore::CompareCore(CompareConfig config)
   missed_streak_.assign(n, 0);
   flagged_block_.assign(n, false);
   flagged_inactive_.assign(n, false);
+  live_since_.assign(n, sim::TimePoint::origin());
 }
 
 std::uint64_t CompareCore::key_of(const net::Packet& packet) const {
@@ -76,10 +91,11 @@ void CompareCore::trace(obs::TraceEvent event, const net::Packet& packet,
               static_cast<std::uint32_t>(packet.size()));
 }
 
-void CompareCore::flag_block(int replica) {
+void CompareCore::flag_block(int replica, sim::TimePoint now) {
   if (flagged_block_[static_cast<std::size_t>(replica)]) return;
   flagged_block_[static_cast<std::size_t>(replica)] = true;
   pending_advice_.block_replicas.push_back(replica);
+  verdict(VerdictKind::kFloodFlagged, replica, now);
 }
 
 void CompareCore::note_arrival(int replica, sim::TimePoint now) {
@@ -87,7 +103,7 @@ void CompareCore::note_arrival(int replica, sim::TimePoint now) {
   window.push_back(now.ns());
   const std::int64_t horizon = now.ns() - config_.rate_window.ns();
   while (!window.empty() && window.front() < horizon) window.pop_front();
-  if (window.size() > config_.rate_limit_packets) flag_block(replica);
+  if (window.size() > config_.rate_limit_packets) flag_block(replica, now);
 }
 
 void CompareCore::note_garbage(int replica, sim::TimePoint now) {
@@ -95,7 +111,47 @@ void CompareCore::note_garbage(int replica, sim::TimePoint now) {
   window.push_back(now.ns());
   const std::int64_t horizon = now.ns() - config_.rate_window.ns();
   while (!window.empty() && window.front() < horizon) window.pop_front();
-  if (window.size() > config_.garbage_limit_packets) flag_block(replica);
+  if (window.size() > config_.garbage_limit_packets) flag_block(replica, now);
+}
+
+void CompareCore::verdict(VerdictKind kind, int replica, sim::TimePoint now) {
+  if (verdict_sink_ == nullptr) [[likely]] return;
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
+  verdict_sink_->on_verdict(ReplicaVerdict{.kind = kind,
+                                           .replica = replica,
+                                           .live = (live_mask_ & bit) != 0,
+                                           .at = now});
+}
+
+void CompareCore::divergent_verdict(const Entry& entry, sim::TimePoint now) {
+  // Only a dead *singleton* is attributable: exactly one replica sent it
+  // and nobody confirmed. Multi-contributor minority entries (loss, churn)
+  // are ambiguous and produce no verdict.
+  if (entry.released || entry.contributions != 1) return;
+  verdict(VerdictKind::kDivergent, entry.first_replica, now);
+}
+
+void CompareCore::set_replica_live(int replica, bool live,
+                                   sim::TimePoint now) {
+  if (replica < 0 || replica >= config_.k) return;
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
+  if (((live_mask_ & bit) != 0) == live) return;
+  if (live) {
+    live_mask_ |= bit;
+    ++live_count_;
+    // Entries already in the cache were fanned out while this replica was
+    // masked; their deaths must not read as misses (finalize checks this).
+    live_since_[static_cast<std::size_t>(replica)] = now;
+  } else {
+    live_mask_ &= ~bit;
+    --live_count_;
+  }
+  // Fresh slate in both directions: a quarantined replica must not keep a
+  // half-built missed streak (or a latched alarm), and a readmitted one
+  // starts its case-3 accounting from zero.
+  const auto idx = static_cast<std::size_t>(replica);
+  missed_streak_[idx] = 0;
+  flagged_inactive_[idx] = false;
 }
 
 std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
@@ -176,8 +232,13 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     age_.push_back(key);
     entry.age_it = std::prev(age_.end());
 
+    // A copy from a non-live (probation) replica never releases anything:
+    // it is cached, compared, and judged, but carries no vote. With all k
+    // replicas live this reduces to the original policy check.
     const bool release_now =
-        config_.policy == ReleasePolicy::kFirstCopy || config_.quorum() == 1;
+        replica_live(replica) &&
+        (config_.policy == ReleasePolicy::kFirstCopy ||
+         degraded_first_copy() || live_quorum() == 1);
     entry.released = release_now;
     std::optional<net::Packet> released;
     if (release_now) {
@@ -229,14 +290,24 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     ++stats_.late_after_release;
     trace(obs::TraceEvent::kCompareLate, entry.exemplar, now, replica);
     if (entry.contributions == config_.k && !config_.retain_completed) {
-      finalize(entry);
+      finalize(entry, now);
       erase_entry(key);
     }
     return std::nullopt;
   }
 
-  if (config_.policy == ReleasePolicy::kMajority &&
-      entry.contributions >= config_.quorum()) {
+  // Release decision over the *live* set: a probation copy never votes,
+  // and the quorum is a strict majority of live replicas (first copy once
+  // the live set has degraded to detection mode). With all replicas live
+  // the live contribution count equals entry.contributions and this is the
+  // original majority test, bit for bit.
+  const bool first_copy_mode =
+      config_.policy == ReleasePolicy::kFirstCopy || degraded_first_copy();
+  const int live_contributions =
+      std::popcount(entry.replica_mask & live_mask_);
+  if (replica_live(replica) &&
+      (first_copy_mode ? live_contributions >= 1
+                       : live_contributions >= live_quorum())) {
     entry.released = true;
     ++stats_.released;
     released_counter_->inc();
@@ -244,7 +315,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     trace(obs::TraceEvent::kCompareRelease, entry.exemplar, now, replica);
     net::Packet released = entry.exemplar;
     if (entry.contributions == config_.k && !config_.retain_completed) {
-      finalize(entry);
+      finalize(entry, now);
       erase_entry(key);
     }
     return released;
@@ -252,22 +323,41 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
   return std::nullopt;
 }
 
-void CompareCore::finalize(Entry& entry) {
+void CompareCore::finalize(Entry& entry, sim::TimePoint now) {
   // Inactivity accounting runs only for packets the quorum vouched for:
   // a replica missing from an agreed packet is suspect; replicas absent
   // from a fabricated minority packet are not.
   if (!entry.released) return;
   for (int r = 0; r < config_.k; ++r) {
     const auto idx = static_cast<std::size_t>(r);
-    if (entry.replica_mask & (1ULL << static_cast<unsigned>(r))) {
+    const std::uint64_t bit = 1ULL << static_cast<unsigned>(r);
+    const bool present = (entry.replica_mask & bit) != 0;
+    if ((live_mask_ & bit) == 0) {
+      // Probation: a probe copy that agreed with the released packet is
+      // evidence for readmission; absence proves nothing (the trickle is
+      // sampled) and must not feed the case-3 streak.
+      if (present) verdict(VerdictKind::kMatched, r, now);
+      continue;
+    }
+    if (present) {
       missed_streak_[idx] = 0;
-      // The flag latches for the lifetime of the core: one alarm per
-      // replica per run is what an administrator needs (re-arming on every
-      // recovery floods the operator under oscillating overload).
-    } else if (++missed_streak_[idx] == config_.inactivity_threshold &&
-               !flagged_inactive_[idx]) {
-      flagged_inactive_[idx] = true;
-      pending_advice_.inactive_replicas.push_back(r);
+      // Reappearance clears the case-3 latch: the health loop needs the
+      // alarm again if the replica dies again later. Alarm storms stay
+      // bounded by the threshold width (one alarm per full dead streak),
+      // not by a once-per-run latch.
+      flagged_inactive_[idx] = false;
+      verdict(VerdictKind::kMatched, r, now);
+    } else {
+      // No blame for entries older than the replica's (re)admission: the
+      // fan-out did not include it when those copies were multiplied.
+      if (entry.first_seen < live_since_[idx]) continue;
+      verdict(VerdictKind::kMissed, r, now);
+      if (++missed_streak_[idx] == config_.inactivity_threshold &&
+          !flagged_inactive_[idx]) {
+        flagged_inactive_[idx] = true;
+        pending_advice_.inactive_replicas.push_back(r);
+        verdict(VerdictKind::kInactive, r, now);
+      }
     }
   }
 }
@@ -304,14 +394,17 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
     if (now - entry.first_seen < config_.hold_timeout) break;  // age order
     if (entry.released) {
       // Normal death of an agreed packet whose stragglers never came.
-      finalize(entry);
-      if (config_.policy == ReleasePolicy::kFirstCopy &&
-          entry.contributions < config_.k) {
+      finalize(entry, now);
+      if ((config_.policy == ReleasePolicy::kFirstCopy ||
+           degraded_first_copy()) &&
+          std::popcount(entry.replica_mask & live_mask_) < live_count_) {
         ++stats_.mismatch_detected;  // detection mode: partner disagreed
-        // Attribute the disagreement: every replica that failed to confirm
-        // the released packet is a suspect (§IV detection).
+        // Attribute the disagreement: every live replica that failed to
+        // confirm the released packet is a suspect (§IV detection).
+        // Probation replicas are judged through their verdicts instead.
         for (int r = 0; r < config_.k; ++r) {
-          if (!(entry.replica_mask & (1ULL << static_cast<unsigned>(r)))) {
+          const std::uint64_t bit = 1ULL << static_cast<unsigned>(r);
+          if ((live_mask_ & bit) != 0 && (entry.replica_mask & bit) == 0) {
             trace(obs::TraceEvent::kCompareMismatch, entry.exemplar, now, r);
           }
         }
@@ -324,6 +417,7 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
       if (entry.contributions == 1) {
         // A singleton that nobody confirmed is attributable garbage.
         note_garbage(entry.first_replica, now);
+        divergent_verdict(entry, now);
       }
     }
     erase_entry(key);
@@ -341,7 +435,7 @@ void CompareCore::capacity_cleanup(sim::TimePoint now) {
     const std::uint64_t key = age_.front();
     auto& entry = cache_.at(key);
     if (entry.released) {
-      finalize(entry);
+      finalize(entry, now);
       trace(obs::TraceEvent::kCompareExpire, entry.exemplar, now, -1);
     } else {
       ++stats_.evicted_capacity;
@@ -352,6 +446,7 @@ void CompareCore::capacity_cleanup(sim::TimePoint now) {
         // attributable as one that timed out — the garbage monitor must
         // see flood traffic regardless of which eviction path fires.
         note_garbage(entry.first_replica, now);
+        divergent_verdict(entry, now);
       }
     }
     erase_entry(key);
@@ -372,6 +467,7 @@ void CompareCore::quota_evict(int replica, sim::TimePoint now) {
       ++stats_.evicted_quota;
       trace(obs::TraceEvent::kCompareEvictQuota, entry.exemplar, now, replica);
       note_garbage(replica, now);
+      divergent_verdict(entry, now);
       erase_entry(*age_it);
       return;
     }

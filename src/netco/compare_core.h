@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "netco/verdict.h"
 #include "obs/observability.h"
 #include "sim/time.h"
 
@@ -188,6 +189,47 @@ class CompareCore {
   /// pass (billable via last_cleanup_work(), like any other pass).
   void set_cache_capacity(std::size_t capacity, sim::TimePoint now);
 
+  // --- replica-health integration (src/health) -------------------------
+
+  /// Installs (or, with nullptr, removes) the per-replica verdict sink.
+  /// While null, no verdicts form and the compare behaves bit-identically
+  /// to a core without the health subsystem.
+  void set_verdict_sink(VerdictSink* sink) noexcept { verdict_sink_ = sink; }
+
+  /// Adds/removes `replica` from the live set. Copies from a non-live
+  /// replica are still ingested, compared against the exemplar, and judged
+  /// (probation probes) but never count toward a quorum. The quorum adapts
+  /// to the live set: strict majority over live replicas, falling back to
+  /// first-copy detection mode once the live set shrinks to 2 (a majority
+  /// of 2 would couple the release to the slower replica and stall on a
+  /// single crash — detection is the correct degraded mode). The replica's
+  /// missed-streak and inactivity flag are reset on every transition, so a
+  /// quarantined replica cannot (re-)trigger the case-3 alarm and a
+  /// readmitted one starts with a clean slate. `now` timestamps a
+  /// readmission: entries created while the replica was out (it never
+  /// received those copies) must not produce kMissed verdicts against it
+  /// when they die after the readmission.
+  void set_replica_live(int replica, bool live, sim::TimePoint now);
+
+  /// Whether `replica` currently counts toward quorums.
+  [[nodiscard]] bool replica_live(int replica) const noexcept {
+    return (live_mask_ & (1ULL << static_cast<unsigned>(replica))) != 0;
+  }
+
+  /// Replicas currently in the live set.
+  [[nodiscard]] int live_count() const noexcept { return live_count_; }
+
+  /// Strict majority over the *live* set (== config().quorum() while all
+  /// k replicas are live).
+  [[nodiscard]] int live_quorum() const noexcept {
+    return live_count_ / 2 + 1;
+  }
+
+  /// True when the shrunken live set forces first-copy detection mode.
+  [[nodiscard]] bool degraded_first_copy() const noexcept {
+    return live_count_ < config_.k && live_count_ <= 2;
+  }
+
   /// Component name stamped on this core's trace records ("compare" by
   /// default; deployments use "compare/<edge>" to tell edges apart).
   void set_trace_label(std::string label) { trace_label_ = std::move(label); }
@@ -229,13 +271,18 @@ class CompareCore {
   [[nodiscard]] std::uint64_t key_of(const net::Packet& packet) const;
   [[nodiscard]] bool same_packet(const net::Packet& a,
                                  const net::Packet& b) const;
-  void finalize(Entry& entry);  ///< inactivity bookkeeping on entry death
+  /// Inactivity + verdict bookkeeping on entry death.
+  void finalize(Entry& entry, sim::TimePoint now);
   void erase_entry(std::uint64_t key);
   void capacity_cleanup(sim::TimePoint now);
   void quota_evict(int replica, sim::TimePoint now);
   void note_arrival(int replica, sim::TimePoint now);
   void note_garbage(int replica, sim::TimePoint now);
-  void flag_block(int replica);
+  void flag_block(int replica, sim::TimePoint now);
+  /// Emits one verdict (no-op while no sink is installed).
+  void verdict(VerdictKind kind, int replica, sim::TimePoint now);
+  /// Attributable-garbage verdict for a dead singleton entry.
+  void divergent_verdict(const Entry& entry, sim::TimePoint now);
   /// Emits one lifecycle record (no-op when tracing is disabled).
   void trace(obs::TraceEvent event, const net::Packet& packet,
              sim::TimePoint now, int replica);
@@ -244,6 +291,15 @@ class CompareCore {
   CompareStats stats_;
   std::size_t last_cleanup_work_ = 0;
   std::string trace_label_ = "compare";
+  VerdictSink* verdict_sink_ = nullptr;
+  /// Bit per replica in [0, k): 1 = counts toward quorums. All-ones by
+  /// default; the health subsystem's QuarantineManager shrinks it.
+  std::uint64_t live_mask_ = 0;
+  int live_count_ = 0;
+  /// Per replica: when it last (re)joined the live set. A live replica is
+  /// only blamed for entries first seen after this point — the fan-out
+  /// did not include it before.
+  std::vector<sim::TimePoint> live_since_;
   obs::Observability* obs_;           ///< global context, cached
   obs::Histogram* verdict_latency_;   ///< "compare.verdict_latency_us"
   obs::Counter* released_counter_;    ///< "compare.released"

@@ -1,0 +1,67 @@
+// Per-replica verdict stream: the structured judgement CompareCore forms
+// about each replica while doing its normal work.
+//
+// The paper stops at alarms — case-2 flood advice and the case-3
+// unavailability alarm are handed to "the network administrator" and the
+// circuit never acts on them. The verdict stream is the machine-readable
+// form of that evidence, emitted continuously instead of only at alarm
+// thresholds, so an in-process reinforcement loop (src/health) can score
+// replicas and reconfigure the circuit without a human in the path:
+//
+//   kMatched      — a copy from the replica agreed with the released packet
+//                   (counted when the cache entry dies, so late-but-honest
+//                   copies still count in the replica's favour);
+//   kMissed       — the replica failed to deliver a packet the quorum
+//                   vouched for (the per-packet form of the case-3 signal);
+//   kDivergent    — a copy nobody confirmed died in the cache: corrupt,
+//                   fabricated, or rerouted-in traffic attributable to the
+//                   replica that sent it (the per-packet case-1/2 signal);
+//   kFloodFlagged — the windowed rate/garbage monitor tripped (case 2);
+//   kInactive     — the consecutive-miss alarm threshold tripped (case 3).
+//
+// Verdicts carry the replica's liveness at formation time: copies from a
+// quarantined replica are still compared and judged (probation probes) but
+// never count toward a quorum, and their verdicts arrive with live=false.
+//
+// Emission is a single null-check when no sink is installed; with the sink
+// absent the compare behaves bit-identically to a build without this file.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace netco::core {
+
+/// What the compare concluded about one replica for one packet (or, for
+/// the flagged kinds, one monitor window).
+enum class VerdictKind : std::uint8_t {
+  kMatched,       ///< copy agreed with the released packet
+  kMissed,        ///< absent from a packet the quorum vouched for
+  kDivergent,     ///< attributable garbage (corrupt/fabricated singleton)
+  kFloodFlagged,  ///< rate/garbage window tripped (§IV case 2)
+  kInactive,      ///< consecutive-miss threshold tripped (§IV case 3)
+};
+
+/// Stable lowercase name ("matched", "missed", ...).
+[[nodiscard]] const char* to_string(VerdictKind kind) noexcept;
+
+/// One verdict about one replica.
+struct ReplicaVerdict {
+  VerdictKind kind = VerdictKind::kMatched;
+  int replica = 0;
+  /// Whether the replica was in the compare's live set when the verdict
+  /// formed. Probation-probe verdicts arrive with live == false.
+  bool live = true;
+  sim::TimePoint at;
+};
+
+/// Where verdicts go. The health subsystem implements this; CompareCore
+/// holds a non-owning pointer and emits nothing while it is null.
+class VerdictSink {
+ public:
+  virtual ~VerdictSink() = default;
+  virtual void on_verdict(const ReplicaVerdict& verdict) = 0;
+};
+
+}  // namespace netco::core

@@ -20,6 +20,9 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kCompareExpire: return "compare.expire";
     case TraceEvent::kLinkDrop: return "link.drop";
     case TraceEvent::kLinkLoss: return "link.loss";
+    case TraceEvent::kHealthQuarantine: return "health.quarantine";
+    case TraceEvent::kHealthReadmit: return "health.readmit";
+    case TraceEvent::kHealthBan: return "health.ban";
   }
   return "unknown";
 }

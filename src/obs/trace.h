@@ -42,6 +42,9 @@ enum class TraceEvent : std::uint8_t {
   kCompareExpire,        ///< a released (retained) entry aged out of the cache
   kLinkDrop,             ///< drop-tail queue overflow
   kLinkLoss,             ///< fault-injected random loss (link.set_loss)
+  kHealthQuarantine,     ///< health loop masked a replica out of the fan-out
+  kHealthReadmit,        ///< probation succeeded, replica back in the circuit
+  kHealthBan,            ///< quarantine budget exhausted, replica out for good
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

@@ -39,10 +39,11 @@ SoakResult run_soak(const SoakOptions& options) {
   // of an honest replica would turn one transient into a dead replica for
   // the rest of the soak. This also keeps the unblock timer path hot.
   topo_options.combiner.block_duration = sim::Duration::milliseconds(50);
+  topo_options.health = options.health;
 
   SoakOptions opts = options;  // materialize the default plan
   const sim::Duration horizon = expected_duration(options);
-  if (opts.plan.empty()) {
+  if (opts.plan.empty() && opts.inject_default_faults) {
     faultinject::FaultPlanParams params;
     params.k = options.k;
     params.horizon = horizon;
@@ -58,6 +59,9 @@ SoakResult run_soak(const SoakOptions& options) {
   faultinject::QuorumTraceChecker::Config check_cfg;
   check_cfg.quorum = options.k / 2 + 1;
   check_cfg.first_copy = options.policy == core::ReleasePolicy::kFirstCopy;
+  // Adaptive mode: the checker follows health.quarantine/readmit records
+  // in the stream, so quarantine-shrunken quorums validate correctly.
+  check_cfg.k = options.k;
   faultinject::QuorumTraceChecker checker(check_cfg);
   obs::ScopedTraceSink scoped(checker);
 
@@ -92,10 +96,22 @@ SoakResult run_soak(const SoakOptions& options) {
   // if a future regression stalls the sender.
   const sim::TimePoint deadline =
       sim::TimePoint::origin() + horizon * 8 + sim::Duration::seconds(1);
+  // Tail-goodput window: once three quarters of the budget is offered,
+  // snapshot the counters; the tail ratio is measured past that mark. The
+  // mark lands on an audit-period boundary, so it is sim-deterministic.
+  std::uint64_t tail_sent_mark = 0;
+  std::uint64_t tail_delivered_mark = 0;
+  bool tail_marked = false;
   while (sender.stats().datagrams_sent < opts.packets &&
          topo.simulator().now() < deadline) {
     topo.simulator().run_for(opts.audit_period);
     audit_cores();
+    if (!tail_marked &&
+        sender.stats().datagrams_sent >= opts.packets - opts.packets / 4) {
+      tail_marked = true;
+      tail_sent_mark = sender.stats().datagrams_sent;
+      tail_delivered_mark = sink.report().unique_received;
+    }
   }
   sender.stop();
 
@@ -138,6 +154,23 @@ SoakResult run_soak(const SoakOptions& options) {
   result.verdict_p50_us = verdict.quantile(0.50);
   result.verdict_p95_us = verdict.quantile(0.95);
   result.verdict_p99_us = verdict.quantile(0.99);
+  const std::uint64_t tail_sent =
+      result.datagrams_sent - (tail_marked ? tail_sent_mark : 0);
+  const std::uint64_t tail_delivered =
+      result.delivered_unique - (tail_marked ? tail_delivered_mark : 0);
+  result.tail_goodput_ratio =
+      tail_sent > 0
+          ? static_cast<double>(tail_delivered) / static_cast<double>(tail_sent)
+          : 0.0;
+  if (health::HealthService* health = topo.health()) {
+    const health::HealthSummary summary = health->summary();
+    result.health_quarantines = summary.quarantines;
+    result.health_readmits = summary.readmits;
+    result.health_bans = summary.bans;
+    result.health_probe_windows = summary.probe_windows;
+    result.first_quarantine_ns = summary.first_quarantine_ns;
+    result.first_readmit_ns = summary.first_readmit_ns;
+  }
   result.invariants.merge(checker.report());
   result.stream_hash = checker.stream_hash();
   result.metrics_json = obs.metrics.to_json();

@@ -16,6 +16,7 @@
 
 #include "faultinject/fault_plan.h"
 #include "faultinject/invariants.h"
+#include "health/monitor.h"
 #include "netco/compare_core.h"
 #include "scenario/scenarios.h"
 
@@ -36,10 +37,16 @@ struct SoakOptions {
   /// bench lowers it further for k=5).
   DataRate rate = DataRate::megabits_per_sec(16);
   /// Fault schedule. Empty → a default FaultPlan::random(seed) sized to
-  /// the expected run length.
+  /// the expected run length (unless inject_default_faults is false).
   faultinject::FaultPlan plan;
+  /// false + an empty plan = a fault-free run — the baseline the recovery
+  /// scenarios compare their post-quarantine goodput against.
+  bool inject_default_faults = true;
   /// How often the compare caches are audited.
   sim::Duration audit_period = sim::Duration::milliseconds(50);
+  /// Replica-health loop configuration (disabled by default — a soak with
+  /// health off is bit-identical to one built before the subsystem).
+  health::HealthConfig health;
 };
 
 /// Everything a soak run produces.
@@ -62,6 +69,18 @@ struct SoakResult {
   double verdict_p50_us = 0.0;
   double verdict_p95_us = 0.0;
   double verdict_p99_us = 0.0;
+  /// Goodput over the tail of the send phase (the last quarter of the
+  /// packet budget): delivered/offered once the fault plan's recoveries —
+  /// and any health-loop quarantines — have settled. The recovery
+  /// acceptance bar compares this against a fault-free baseline.
+  double tail_goodput_ratio = 0.0;
+  /// Health-loop outcome (all zero / -1 when the loop is disabled).
+  std::uint64_t health_quarantines = 0;
+  std::uint64_t health_readmits = 0;
+  std::uint64_t health_bans = 0;
+  std::uint64_t health_probe_windows = 0;
+  std::int64_t first_quarantine_ns = -1;  ///< sim-time, -1 = never
+  std::int64_t first_readmit_ns = -1;
   /// Merged verdict of the trace checker and every cache audit.
   faultinject::InvariantReport invariants;
   /// FNV-1a over the canonical trace stream (determinism fingerprint).

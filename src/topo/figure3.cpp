@@ -31,6 +31,10 @@ Figure3Topology::Figure3Topology(Figure3Options options)
         "netco");
     combiner_.install_replica_route(h1_mac, 0);
     combiner_.install_replica_route(h2_mac, 1);
+    if (options_.health.enabled && combiner_.compare != nullptr) {
+      health_ = std::make_unique<health::HealthService>(simulator_, combiner_,
+                                                        options_.health);
+    }
     return;
   }
 

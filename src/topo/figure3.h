@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "device/network.h"
+#include "health/service.h"
 #include "host/host.h"
 #include "link/link.h"
 #include "netco/combiner.h"
@@ -32,6 +33,9 @@ struct Figure3Options {
   host::HostProfile host_profile;
   /// Simulation seed.
   std::uint64_t seed = 1;
+  /// Replica-health loop (src/health). Disabled by default; enabling it
+  /// requires use_combiner with combine=true (it needs the compare).
+  health::HealthConfig health;
 };
 
 /// An instantiated Fig. 3 network: owns the simulator, the network, and the
@@ -54,6 +58,12 @@ class Figure3Topology {
     return options_;
   }
 
+  /// The health loop (nullptr unless options.health.enabled and the
+  /// combiner has a compare).
+  [[nodiscard]] health::HealthService* health() noexcept {
+    return health_.get();
+  }
+
  private:
   Figure3Options options_;
   sim::Simulator simulator_;
@@ -64,6 +74,9 @@ class Figure3Topology {
   host::Host* h1_ = nullptr;
   host::Host* h2_ = nullptr;
   core::CombinerInstance combiner_;
+  /// Declared after combiner_ so it is destroyed first (it un-installs
+  /// its verdict sinks from the combiner's compare cores).
+  std::unique_ptr<health::HealthService> health_;
 };
 
 }  // namespace netco::topo

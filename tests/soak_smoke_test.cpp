@@ -53,5 +53,24 @@ TEST(SoakSmoke, SameSeedIsBitReproducibleK2FirstCopy) {
   EXPECT_EQ(a.compare_released, b.compare_released);
 }
 
+TEST(SoakSmoke, HealthLoopRunIsBitReproducible) {
+  SoakOptions options = smoke_options();
+  options.health.enabled = true;
+  const SoakResult a = run_soak(options);
+  const SoakResult b = run_soak(options);
+  EXPECT_TRUE(a.ok()) << "violations=" << a.invariants.violations;
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.compare_released, b.compare_released);
+  // Health outcomes are part of the determinism contract too.
+  EXPECT_EQ(a.health_quarantines, b.health_quarantines);
+  EXPECT_EQ(a.health_readmits, b.health_readmits);
+  EXPECT_EQ(a.health_bans, b.health_bans);
+  EXPECT_EQ(a.health_probe_windows, b.health_probe_windows);
+  EXPECT_EQ(a.first_quarantine_ns, b.first_quarantine_ns);
+  EXPECT_EQ(a.first_readmit_ns, b.first_readmit_ns);
+}
+
 }  // namespace
 }  // namespace netco::scenario
