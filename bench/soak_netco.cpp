@@ -30,6 +30,10 @@ struct SoakConfig {
   std::uint64_t rate_mbps;
   /// Run with the replica-health loop (quarantine/readmit) enabled.
   bool health = false;
+  /// Run with the resilience subsystem + warm standby: the default fault
+  /// plan then also kills the trusted compare once mid-run, and the
+  /// duplicate-egress invariant arms.
+  bool failover = false;
 };
 
 std::uint64_t packets_per_run() {
@@ -54,6 +58,11 @@ int main() {
       // Same circuit and fault plan as k5-majority, but with the health
       // loop closing on the byzantine swaps and crashes the plan injects.
       {"k5-health", 5, core::ReleasePolicy::kMajority, 10, true},
+      // Trusted-component resilience: the plan additionally crashes the
+      // compare itself mid-run; a warm standby takes over. Majority policy
+      // (first-copy would let a post-restart straggler re-release).
+      {"k3-failover", 3, core::ReleasePolicy::kMajority, 16, false, true},
+      {"k5-failover", 5, core::ReleasePolicy::kMajority, 10, false, true},
   };
   const std::uint64_t packets = packets_per_run();
 
@@ -75,6 +84,16 @@ int main() {
     options.packets = packets;
     options.rate = DataRate::megabits_per_sec(config.rate_mbps);
     options.health.enabled = config.health;
+    if (config.failover) {
+      options.resilience.enabled = true;
+      options.resilience.standby = true;
+      // Tight watchdog so detection + promotion beats even the quick
+      // mode's shortest crash window — the failover path, not the warm
+      // restart, is what this configuration measures.
+      options.resilience.heartbeat_period = sim::Duration::milliseconds(1);
+      options.resilience.heartbeat_miss_threshold = 2;
+      options.resilience.backoff_factor = 1.5;
+    }
 
     const SoakResult a = scenario::run_soak(options);
     const SoakResult b = scenario::run_soak(options);
@@ -115,11 +134,24 @@ int main() {
               : -1.0,
           a.tail_goodput_ratio);
     }
+    if (config.failover) {
+      std::printf(
+          "               failover: %llu promoted in %.2fms, gap loss %llu, "
+          "duplicates %llu, %llu checkpoints, tail goodput %.3f\n",
+          static_cast<unsigned long long>(a.resilience_failovers),
+          a.time_to_failover_ns >= 0
+              ? static_cast<double>(a.time_to_failover_ns) / 1e6
+              : -1.0,
+          static_cast<unsigned long long>(a.gap_loss),
+          static_cast<unsigned long long>(a.duplicate_egress),
+          static_cast<unsigned long long>(a.resilience_checkpoints),
+          a.tail_goodput_ratio);
+    }
     for (const std::string& detail : a.invariants.details) {
       std::printf("               violation: %s\n", detail.c_str());
     }
 
-    char buf[832];
+    char buf[1152];
     std::snprintf(
         buf, sizeof buf,
         "%s\n{\"name\":\"%s\",\"k\":%d,\"policy\":\"%s\","
@@ -132,6 +164,10 @@ int main() {
         "\"health\":{\"enabled\":%s,\"quarantines\":%llu,\"readmits\":%llu,"
         "\"bans\":%llu,\"probe_windows\":%llu,\"first_quarantine_ns\":%lld,"
         "\"first_readmit_ns\":%lld,\"tail_goodput_ratio\":%.4f},"
+        "\"resilience\":{\"enabled\":%s,\"checkpoints\":%llu,"
+        "\"failovers\":%llu,\"time_to_failover_ns\":%lld,\"gap_loss\":%llu,"
+        "\"duplicate_egress\":%llu,\"downtime_drops\":%llu,"
+        "\"suppressed_recovered\":%llu},"
         "\"stream_hash\":\"%016llx\",\"deterministic\":%s}",
         first ? "" : ",", config.name, config.k,
         config.policy == core::ReleasePolicy::kFirstCopy ? "first_copy"
@@ -153,6 +189,14 @@ int main() {
         static_cast<unsigned long long>(a.health_probe_windows),
         static_cast<long long>(a.first_quarantine_ns),
         static_cast<long long>(a.first_readmit_ns), a.tail_goodput_ratio,
+        config.failover ? "true" : "false",
+        static_cast<unsigned long long>(a.resilience_checkpoints),
+        static_cast<unsigned long long>(a.resilience_failovers),
+        static_cast<long long>(a.time_to_failover_ns),
+        static_cast<unsigned long long>(a.gap_loss),
+        static_cast<unsigned long long>(a.duplicate_egress),
+        static_cast<unsigned long long>(a.downtime_drops),
+        static_cast<unsigned long long>(a.suppressed_recovered),
         static_cast<unsigned long long>(a.stream_hash),
         deterministic ? "true" : "false");
     json += buf;

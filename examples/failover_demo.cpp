@@ -1,0 +1,95 @@
+// Surviving the trusted component: the compare process is killed mid-run
+// and never comes back. Two deployments handle the same outage:
+//
+//   Run 1 — warm standby: shadow cores have been judging every quorum all
+//           along; the watchdog declares the primary dead, fences it, and
+//           promotes the standby. Delivery resumes within milliseconds,
+//           with zero duplicate egress (checked per packet against the
+//           trace stream) and a small measured gap loss.
+//   Run 2 — no standby, fail_open_single: after the rewire latency one
+//           designated replica bypasses the dead compare (alarm raised —
+//           that path has no majority vote). Availability is preserved;
+//           §II protection is consciously given up until repair.
+//
+//   ./build/examples/failover_demo
+#include <cstdio>
+
+#include "scenario/soak.h"
+
+namespace {
+
+netco::scenario::SoakOptions base_options() {
+  using namespace netco;
+  scenario::SoakOptions options;
+  options.k = 3;
+  options.policy = core::ReleasePolicy::kMajority;
+  options.seed = 7;
+  options.packets = 30'000;
+  options.rate = DataRate::megabits_per_sec(10);
+  options.inject_default_faults = false;
+  options.resilience.enabled = true;
+
+  // The script: the trusted compare dies at t=2s, for good.
+  faultinject::FaultEvent crash;
+  crash.at_ns = sim::Duration::seconds(2).ns();
+  crash.kind = faultinject::FaultKind::kCompareCrash;
+  options.plan.events = {crash};
+  options.plan.normalize();
+  return options;
+}
+
+void print_timeline(const netco::scenario::SoakResult& r) {
+  std::printf("  offered %llu datagrams, delivered %llu unique (%.1f%%)\n",
+              static_cast<unsigned long long>(r.datagrams_sent),
+              static_cast<unsigned long long>(r.delivered_unique),
+              100.0 * static_cast<double>(r.delivered_unique) /
+                  static_cast<double>(r.datagrams_sent));
+  std::printf("  checkpoints taken: %llu   failovers: %llu   "
+              "degraded-mode entries: %llu\n",
+              static_cast<unsigned long long>(r.resilience_checkpoints),
+              static_cast<unsigned long long>(r.resilience_failovers),
+              static_cast<unsigned long long>(r.resilience_degraded_entries));
+  if (r.time_to_failover_ns >= 0) {
+    std::printf("  time to failover: %.2f ms (crash -> standby live)\n",
+                static_cast<double>(r.time_to_failover_ns) / 1e6);
+  }
+  std::printf("  gap loss: %llu   downtime drops: %llu   "
+              "duplicate egress: %llu\n",
+              static_cast<unsigned long long>(r.gap_loss),
+              static_cast<unsigned long long>(r.downtime_drops),
+              static_cast<unsigned long long>(r.duplicate_egress));
+  std::printf("  tail goodput (last quarter): %.1f%%   invariants: "
+              "%llu checks, %llu violations\n\n",
+              r.tail_goodput_ratio * 100.0,
+              static_cast<unsigned long long>(r.invariants.checks),
+              static_cast<unsigned long long>(r.invariants.violations));
+}
+
+}  // namespace
+
+int main() {
+  using namespace netco;
+
+  std::printf("=== Trusted-component failover (k=3, compare killed at "
+              "t=2s, never restarted) ===\n\n");
+
+  std::printf("Run 1: warm standby shadows the primary\n");
+  scenario::SoakOptions standby = base_options();
+  standby.resilience.standby = true;
+  const scenario::SoakResult a = scenario::run_soak(standby);
+  print_timeline(a);
+
+  std::printf("Run 2: no standby — fail_open_single degraded policy\n");
+  scenario::SoakOptions open = base_options();
+  open.resilience.policy = resilience::DegradedPolicy::kFailOpenSingle;
+  const scenario::SoakResult b = scenario::run_soak(open);
+  print_timeline(b);
+
+  std::printf(
+      "The standby bridged the crash in milliseconds without re-releasing\n"
+      "a single packet: promotion fences the primary first, and entries the\n"
+      "shadow already judged stay suppressed. Fail-open trades the majority\n"
+      "vote for availability instead — one designated replica bypasses the\n"
+      "dead compare until an operator repairs it.\n");
+  return a.ok() && b.ok() ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
 
@@ -18,6 +19,10 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kBehaviorSwap: return "behavior.swap";
     case FaultKind::kCacheSqueeze: return "cache.squeeze";
     case FaultKind::kCacheRestore: return "cache.restore";
+    case FaultKind::kCompareCrash: return "compare.crash";
+    case FaultKind::kCompareHang: return "compare.hang";
+    case FaultKind::kHubCrash: return "hub.crash";
+    case FaultKind::kHeartbeatLoss: return "heartbeat.loss";
   }
   return "unknown";
 }
@@ -41,15 +46,94 @@ std::string FaultPlan::to_json() const {
         buf, sizeof buf,
         "%s\n{\"t\":%lld,\"kind\":\"%s\",\"edge\":%d,\"replica\":%d,"
         "\"loss\":%.4f,\"latency_ns\":%lld,\"capacity\":%zu,"
-        "\"behavior\":\"%s\"}",
+        "\"behavior\":\"%s\",\"duration_ns\":%lld}",
         i == 0 ? "" : ",", static_cast<long long>(e.at_ns),
         to_string(e.kind), e.edge, e.replica, e.loss_rate,
         static_cast<long long>(e.extra_latency_ns), e.cache_capacity,
-        to_string(e.behavior));
+        to_string(e.behavior), static_cast<long long>(e.duration_ns));
     out.append(buf, static_cast<std::size_t>(n));
   }
   out += "\n]";
   return out;
+}
+
+namespace {
+
+/// Inverse of to_string(FaultKind), by exhaustive lookup: a new kind that
+/// misses this table fails the round-trip test, not a disaster restore.
+std::optional<FaultKind> kind_from_string(const char* name) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kLinkDown,      FaultKind::kLinkUp,
+      FaultKind::kLinkLoss,      FaultKind::kLinkLatency,
+      FaultKind::kReplicaCrash,  FaultKind::kReplicaRestart,
+      FaultKind::kBehaviorSwap,  FaultKind::kCacheSqueeze,
+      FaultKind::kCacheRestore,  FaultKind::kCompareCrash,
+      FaultKind::kCompareHang,   FaultKind::kHubCrash,
+      FaultKind::kHeartbeatLoss,
+  };
+  for (const FaultKind kind : kAll) {
+    if (std::strcmp(name, to_string(kind)) == 0) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<SwapBehavior> behavior_from_string(const char* name) {
+  static constexpr SwapBehavior kAll[] = {
+      SwapBehavior::kHonest, SwapBehavior::kDrop, SwapBehavior::kCorrupt,
+      SwapBehavior::kReroute};
+  for (const SwapBehavior behavior : kAll) {
+    if (std::strcmp(name, to_string(behavior)) == 0) return behavior;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::from_json(const std::string& json) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    std::size_t nl = json.find('\n', pos);
+    if (nl == std::string::npos) nl = json.size();
+    std::string line = json.substr(pos, nl - pos);
+    pos = nl + 1;
+    // Event records are one per line, '{'-first; strip the separator
+    // to_json() appends to the following line.
+    if (line.empty() || line[0] != '{') continue;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+
+    FaultEvent e;
+    long long t = 0, latency = 0, duration = 0;
+    double loss = 0.0;
+    std::size_t capacity = 0;
+    char kind[64] = {0};
+    char behavior[64] = {0};
+    int n = std::sscanf(
+        line.c_str(),
+        "{\"t\":%lld,\"kind\":\"%63[^\"]\",\"edge\":%d,\"replica\":%d,"
+        "\"loss\":%lf,\"latency_ns\":%lld,\"capacity\":%zu,"
+        "\"behavior\":\"%63[^\"]\",\"duration_ns\":%lld}",
+        &t, kind, &e.edge, &e.replica, &loss, &latency, &capacity, behavior,
+        &duration);
+    if (n == 8) {
+      duration = 0;  // pre-duration_ns rendering
+    } else if (n != 9) {
+      return std::nullopt;
+    }
+    const auto parsed_kind = kind_from_string(kind);
+    const auto parsed_behavior = behavior_from_string(behavior);
+    if (!parsed_kind || !parsed_behavior) return std::nullopt;
+    e.at_ns = t;
+    e.kind = *parsed_kind;
+    e.loss_rate = loss;
+    e.extra_latency_ns = latency;
+    e.cache_capacity = capacity;
+    e.behavior = *parsed_behavior;
+    e.duration_ns = duration;
+    plan.events.push_back(e);
+  }
+  plan.normalize();
+  return plan;
 }
 
 void FaultPlan::normalize() {
@@ -161,6 +245,30 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
                            params.squeeze_capacity, SwapBehavior::kHonest});
     plan.events.push_back({b, FaultKind::kCacheRestore, -1, 0, 0, 0, 0,
                            SwapBehavior::kHonest});
+  }
+
+  // Trusted-component faults: one event carrying its recovery delay
+  // (duration_ns) instead of an explicit revert twin — the resilience
+  // manager owns the recovery schedule.
+  for (int i = 0; i < params.compare_crashes; ++i) {
+    const auto [a, b] = draw_window(rng, lo, hi, min_len);
+    plan.events.push_back({a, FaultKind::kCompareCrash, -1, 0, 0, 0, 0,
+                           SwapBehavior::kHonest, b - a});
+  }
+  for (int i = 0; i < params.compare_hangs; ++i) {
+    const auto [a, b] = draw_window(rng, lo, hi, min_len);
+    plan.events.push_back({a, FaultKind::kCompareHang, -1, 0, 0, 0, 0,
+                           SwapBehavior::kHonest, b - a});
+  }
+  for (int i = 0; i < params.hub_crashes; ++i) {
+    const auto [a, b] = draw_window(rng, lo, hi, min_len);
+    plan.events.push_back({a, FaultKind::kHubCrash, pick_edge(), 0, 0, 0, 0,
+                           SwapBehavior::kHonest, b - a});
+  }
+  for (int i = 0; i < params.heartbeat_losses; ++i) {
+    const auto [a, b] = draw_window(rng, lo, hi, min_len);
+    plan.events.push_back({a, FaultKind::kHeartbeatLoss, -1, 0, 0, 0, 0,
+                           SwapBehavior::kHonest, b - a});
   }
 
   plan.normalize();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,12 @@ enum class FaultKind : std::uint8_t {
   kBehaviorSwap,    ///< install a byzantine datapath behaviour on a replica
   kCacheSqueeze,    ///< shrink the compare cache capacity (memory pressure)
   kCacheRestore,    ///< restore the original compare cache capacity
+  // Trusted-component faults (delegated to resilience::ResilienceManager;
+  // skipped with a log line when no manager is wired up).
+  kCompareCrash,    ///< kill the compare process — in-memory state lost
+  kCompareHang,     ///< wedge the compare process — memory intact
+  kHubCrash,        ///< remove an edge's fan-out rule (-1 = every edge)
+  kHeartbeatLoss,   ///< partition the heartbeat path (primary stays live)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -57,6 +64,11 @@ struct FaultEvent {
   std::int64_t extra_latency_ns = 0;  ///< kLinkLatency
   std::size_t cache_capacity = 0;     ///< kCacheSqueeze
   SwapBehavior behavior = SwapBehavior::kHonest;  ///< kBehaviorSwap
+  /// Recovery delay for the trusted-component kinds (crash → restart,
+  /// hang → resume, hub crash → reinstall, heartbeat loss → restore);
+  /// 0 = no scheduled recovery. Appended last so existing positional
+  /// initializers stay valid.
+  std::int64_t duration_ns = 0;
 };
 
 /// Knobs for FaultPlan::random().
@@ -73,6 +85,12 @@ struct FaultPlanParams {
   int replica_crashes = 1;  ///< crash/restart pairs
   int behavior_swaps = 1;   ///< byzantine/honest pairs
   int cache_squeezes = 1;   ///< squeeze/restore pairs
+  /// Trusted-component faults (default 0: plans without a resilience
+  /// manager are byte-identical to plans generated before these existed).
+  int compare_crashes = 0;   ///< compare kill + scheduled warm restart
+  int compare_hangs = 0;     ///< compare wedge + scheduled resume
+  int hub_crashes = 0;       ///< fan-out rule removal + reinstall
+  int heartbeat_losses = 0;  ///< monitoring-path partitions
   double max_loss = 0.3;
   sim::Duration max_extra_latency = sim::Duration::microseconds(200);
   std::size_t squeeze_capacity = 64;
@@ -89,6 +107,12 @@ struct FaultPlan {
   /// Canonical one-line-per-event JSON array (stable field order), for the
   /// bench artifact and for byte-comparing plans across runs.
   [[nodiscard]] std::string to_json() const;
+
+  /// Parses a to_json() rendering back into a plan (the seed is not part
+  /// of the JSON and comes back 0). Accepts records without the trailing
+  /// duration_ns field, so plans serialized before it existed still load.
+  /// std::nullopt on any malformed event line.
+  static std::optional<FaultPlan> from_json(const std::string& json);
 
   /// Sorts events by time, keeping the relative order of simultaneous
   /// events (random() already emits sorted plans; hand-built ones call

@@ -5,6 +5,7 @@
 #include "adversary/behaviors.h"
 #include "common/assert.h"
 #include "common/log.h"
+#include "resilience/resilience.h"
 
 namespace netco::faultinject {
 
@@ -99,6 +100,40 @@ void FaultInjector::apply(const FaultEvent& event) {
                   combiner.replica_edge_port[static_cast<std::size_t>(
                       event.replica)][0]));
           replica->set_interceptor(interceptors_.back().get());
+          break;
+      }
+      break;
+    }
+    case FaultKind::kCompareCrash:
+    case FaultKind::kCompareHang:
+    case FaultKind::kHubCrash:
+    case FaultKind::kHeartbeatLoss: {
+      if (resilience_ == nullptr) {
+        NETCO_LOG_INFO("faultinject",
+                       "{} skipped: no resilience manager wired up",
+                       to_string(event.kind));
+        break;
+      }
+      const auto recover = sim::Duration::nanoseconds(event.duration_ns);
+      switch (event.kind) {
+        case FaultKind::kCompareCrash:
+          resilience_->compare_crash(recover);
+          break;
+        case FaultKind::kCompareHang:
+          resilience_->compare_hang(recover);
+          break;
+        case FaultKind::kHubCrash:
+          for (std::size_t i = 0; i < combiner.edges.size(); ++i) {
+            if (event.edge >= 0 && static_cast<std::size_t>(event.edge) != i) {
+              continue;
+            }
+            resilience_->hub_crash(static_cast<int>(i), recover);
+          }
+          break;
+        case FaultKind::kHeartbeatLoss:
+          resilience_->heartbeat_loss(recover);
+          break;
+        default:
           break;
       }
       break;

@@ -13,6 +13,10 @@
 #include "faultinject/fault_plan.h"
 #include "topo/figure3.h"
 
+namespace netco::resilience {
+class ResilienceManager;
+}  // namespace netco::resilience
+
 namespace netco::faultinject {
 
 class FaultInjector {
@@ -27,6 +31,15 @@ class FaultInjector {
   /// Schedules every event on the simulator. Call once, before run.
   void arm();
 
+  /// Wires up the resilience manager the trusted-component fault kinds
+  /// (compare crash/hang, hub crash, heartbeat loss) delegate to. Without
+  /// one, those events are counted but skipped with a log line. Must be
+  /// set before the simulation reaches the first such event; the manager
+  /// must outlive the run.
+  void set_resilience(resilience::ResilienceManager* manager) noexcept {
+    resilience_ = manager;
+  }
+
   /// Events applied so far.
   [[nodiscard]] std::size_t applied() const noexcept { return applied_; }
 
@@ -38,6 +51,7 @@ class FaultInjector {
 
   topo::Figure3Topology& topo_;
   FaultPlan plan_;
+  resilience::ResilienceManager* resilience_ = nullptr;
   std::size_t applied_ = 0;
   /// Original compare cache capacity per edge, captured at arm() so
   /// kCacheRestore reverts squeezes exactly.

@@ -101,6 +101,48 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
                       static_cast<long long>(record.at_ns));
         report_.note(buf);
       }
+      if (config_.check_duplicates) {
+        // Group by the wire: "compare/netco-e0" and "standby/netco-e0"
+        // both emit onto edge netco-e0.
+        const std::size_t slash = record.component.find('/');
+        std::string group = slash == std::string::npos
+                                ? record.component
+                                : record.component.substr(slash + 1);
+        // Prune releases that fell out of the window; forget a mapped
+        // time only if no newer release overwrote it.
+        while (!release_log_.empty() &&
+               record.at_ns - std::get<0>(release_log_.front()) >
+                   config_.duplicate_window_ns) {
+          const auto& [ns, g, id] = release_log_.front();
+          const auto git = last_release_.find(g);
+          if (git != last_release_.end()) {
+            const auto iit = git->second.find(id);
+            if (iit != git->second.end() && iit->second == ns) {
+              git->second.erase(iit);
+            }
+          }
+          release_log_.pop_front();
+        }
+        ++report_.checks;
+        auto& per_group = last_release_[group];
+        const auto it = per_group.find(record.packet_id);
+        if (it != per_group.end() &&
+            record.at_ns - it->second <= config_.duplicate_window_ns) {
+          ++duplicates_;
+          char buf[160];
+          std::snprintf(
+              buf, sizeof buf,
+              "%s: duplicate egress of %016llx at t=%lld (previous t=%lld)",
+              record.component.c_str(),
+              static_cast<unsigned long long>(record.packet_id),
+              static_cast<long long>(record.at_ns),
+              static_cast<long long>(it->second));
+          report_.note(buf);
+        }
+        per_group[record.packet_id] = record.at_ns;
+        release_log_.emplace_back(record.at_ns, std::move(group),
+                                  record.packet_id);
+      }
       break;
     }
     case obs::TraceEvent::kCompareEvictTimeout:

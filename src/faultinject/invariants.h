@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +68,16 @@ class QuorumTraceChecker final : public obs::TraceSink {
     /// set, and a live set of ≤ 2 falls back to first-copy mode — the
     /// same rules CompareCore applies. 0 keeps the fixed legacy check.
     int k = 0;
+    /// At-most-once egress check (resilience soaks): a second release of
+    /// the same packet id for the same edge within duplicate_window_ns is
+    /// a violation. Egress is grouped by the component's suffix after '/'
+    /// — "compare/netco-e0" and "standby/netco-e0" feed the same wire, so
+    /// a primary release followed by a standby re-release of the same
+    /// packet is exactly the split-brain duplicate this hunts. Off by
+    /// default: a workload may legitimately repeat identical datagrams
+    /// (same content hash) on a longer timescale.
+    bool check_duplicates = false;
+    std::int64_t duplicate_window_ns = 50'000'000;  ///< 50 ms
   };
 
   explicit QuorumTraceChecker(Config config, obs::TraceSink* tee = nullptr)
@@ -80,6 +92,11 @@ class QuorumTraceChecker final : public obs::TraceSink {
     return records_;
   }
   [[nodiscard]] std::uint64_t releases() const noexcept { return releases_; }
+
+  /// Duplicate egress events found (0 unless check_duplicates).
+  [[nodiscard]] std::uint64_t duplicates() const noexcept {
+    return duplicates_;
+  }
 
   /// FNV-1a over the canonical JSON of every record seen so far — equal
   /// hashes across two runs mean byte-identical trace streams.
@@ -100,6 +117,15 @@ class QuorumTraceChecker final : public obs::TraceSink {
   std::unordered_map<std::string,
                      std::unordered_map<std::uint64_t, std::uint64_t>>
       votes_;
+  /// Duplicate-egress tracking (check_duplicates mode): per egress group
+  /// (component suffix), packet id → last release time, plus a pruning
+  /// log so the maps stay bounded by the window's release volume.
+  std::uint64_t duplicates_ = 0;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::uint64_t, std::int64_t>>
+      last_release_;
+  std::deque<std::tuple<std::int64_t, std::string, std::uint64_t>>
+      release_log_;
 };
 
 }  // namespace netco::faultinject

@@ -42,6 +42,13 @@ void QuarantineManager::set_live(int replica, bool live) {
       core->set_replica_live(replica, live, simulator_.now());
     }
   }
+  // A warm standby shadows the primary's quorum rules: keep its live set
+  // in lockstep so a failover inherits the current quarantine picture.
+  for (core::CompareCore* core : combiner_.shadow_cores) {
+    if (core != nullptr) {
+      core->set_replica_live(replica, live, simulator_.now());
+    }
+  }
 }
 
 void QuarantineManager::quarantine(int replica) {

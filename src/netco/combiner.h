@@ -81,6 +81,12 @@ struct CombinerInstance {
   std::unique_ptr<controller::Controller> compare_controller;
   std::unique_ptr<CompareService> compare;
 
+  /// Shadow compare cores registered by a warm standby (src/resilience,
+  /// one per edge; non-owning). The health subsystem mirrors every
+  /// set_replica_live transition into these so a promoted standby starts
+  /// with the same live set the primary had.
+  std::vector<CompareCore*> shadow_cores;
+
   /// Installs "dl_dst=mac → toward attachment `idx`" into every replica —
   /// the routing the original router would have done.
   void install_replica_route(const net::MacAddress& mac, std::size_t idx);

@@ -242,11 +242,20 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     entry.released = release_now;
     std::optional<net::Packet> released;
     if (release_now) {
-      ++stats_.released;
-      released_counter_->inc();
-      verdict_latency_->observe(0.0);
-      trace(obs::TraceEvent::kCompareRelease, entry.exemplar, now, replica);
-      released = entry.exemplar;
+      if (shadow_) [[unlikely]] {
+        // Standby shadow mode: the quorum is tracked (the entry stays
+        // marked released so promotion can never re-emit it) but the
+        // packet is withheld — the primary owns the egress.
+        ++stats_.shadow_releases;
+        trace(obs::TraceEvent::kCompareSuppressed, entry.exemplar, now,
+              replica);
+      } else {
+        ++stats_.released;
+        released_counter_->inc();
+        verdict_latency_->observe(0.0);
+        trace(obs::TraceEvent::kCompareRelease, entry.exemplar, now, replica);
+        released = entry.exemplar;
+      }
     }
 
     cache_.emplace(key, std::move(entry));
@@ -309,6 +318,25 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
       (first_copy_mode ? live_contributions >= 1
                        : live_contributions >= live_quorum())) {
     entry.released = true;
+    if (shadow_ || entry.recovered) [[unlikely]] {
+      // Withheld release: either this core is a shadow standby (the
+      // primary owns the egress), or the entry was restored from a
+      // checkpoint and may already have been released before the crash.
+      // Marking it released while suppressing the emission converts an
+      // unknowable double-release into a bounded, measured gap loss.
+      if (shadow_) {
+        ++stats_.shadow_releases;
+      } else {
+        ++stats_.suppressed_recovered;
+      }
+      trace(obs::TraceEvent::kCompareSuppressed, entry.exemplar, now,
+            replica);
+      if (entry.contributions == config_.k && !config_.retain_completed) {
+        finalize(entry, now);
+        erase_entry(key);
+      }
+      return std::nullopt;
+    }
     ++stats_.released;
     released_counter_->inc();
     verdict_latency_->observe((now - entry.first_seen).us());
@@ -511,6 +539,110 @@ CompareAudit CompareCore::audit() const {
 void CompareCore::set_cache_capacity(std::size_t capacity, sim::TimePoint now) {
   config_.cache_capacity = capacity;
   if (cache_.size() > config_.cache_capacity) capacity_cleanup(now);
+}
+
+CompareSnapshot CompareCore::snapshot(sim::TimePoint now) const {
+  CompareSnapshot snap;
+  snap.at_ns = now.ns();
+  snap.stats = stats_;
+  snap.live_mask = live_mask_;
+  snap.live_count = live_count_;
+  snap.live_since_ns.reserve(live_since_.size());
+  for (const sim::TimePoint& t : live_since_) {
+    snap.live_since_ns.push_back(t.ns());
+  }
+  snap.missed_streak = missed_streak_;
+  snap.flagged_block.assign(flagged_block_.begin(), flagged_block_.end());
+  snap.flagged_inactive.assign(flagged_inactive_.begin(),
+                               flagged_inactive_.end());
+  snap.entries.reserve(cache_.size());
+  // Age order, oldest first: restore() re-inserts in this order, so the
+  // rebuilt age list is byte-for-byte the original eviction order.
+  for (const std::uint64_t key : age_) {
+    const Entry& e = cache_.at(key);
+    SnapshotEntry se;
+    se.key = e.key;
+    se.base_key = e.base_key;
+    se.probe_depth = e.probe_depth;
+    const auto bytes = e.exemplar.bytes();
+    se.payload.assign(bytes.begin(), bytes.end());
+    se.replica_mask = e.replica_mask;
+    se.contributions = e.contributions;
+    se.first_replica = e.first_replica;
+    se.holds_singleton_slot = e.holds_singleton_slot;
+    se.released = e.released;
+    se.recovered = e.recovered;
+    se.first_seen_ns = e.first_seen.ns();
+    snap.entries.push_back(std::move(se));
+  }
+  return snap;
+}
+
+void CompareCore::restore(const CompareSnapshot& snap, sim::TimePoint) {
+  cache_.clear();
+  chains_.clear();
+  age_.clear();
+  const auto n = static_cast<std::size_t>(config_.k);
+  singleton_count_.assign(n, 0);
+  // Rate/garbage windows intentionally restart empty: replaying pre-crash
+  // arrivals would re-accuse replicas for traffic already judged.
+  arrival_ns_.assign(n, {});
+  garbage_ns_.assign(n, {});
+  missed_streak_.assign(n, 0);
+  flagged_block_.assign(n, false);
+  flagged_inactive_.assign(n, false);
+  live_since_.assign(n, sim::TimePoint::origin());
+  pending_advice_ = CompareAdvice{};
+  last_cleanup_work_ = 0;
+
+  stats_ = snap.stats;
+  live_mask_ = snap.live_mask;
+  live_count_ = snap.live_count;
+  for (std::size_t i = 0; i < n && i < snap.live_since_ns.size(); ++i) {
+    live_since_[i] = sim::TimePoint::from_ns(snap.live_since_ns[i]);
+  }
+  for (std::size_t i = 0; i < n && i < snap.missed_streak.size(); ++i) {
+    missed_streak_[i] = snap.missed_streak[i];
+  }
+  for (std::size_t i = 0; i < n && i < snap.flagged_block.size(); ++i) {
+    flagged_block_[i] = snap.flagged_block[i];
+  }
+  for (std::size_t i = 0; i < n && i < snap.flagged_inactive.size(); ++i) {
+    flagged_inactive_[i] = snap.flagged_inactive[i];
+  }
+
+  for (const SnapshotEntry& se : snap.entries) {
+    Entry e;
+    e.key = se.key;
+    e.base_key = se.base_key;
+    e.probe_depth = se.probe_depth;
+    e.exemplar = net::Packet(std::vector<std::byte>(se.payload));
+    e.replica_mask = se.replica_mask;
+    e.contributions = se.contributions;
+    e.first_replica = se.first_replica;
+    e.holds_singleton_slot = se.holds_singleton_slot;
+    e.released = se.released;
+    // The conservative-replay taint: an unreleased checkpoint entry may
+    // have been released between the checkpoint and the crash, so its
+    // post-restart quorum must never release again.
+    e.recovered = se.recovered || !se.released;
+    e.first_seen = sim::TimePoint::from_ns(se.first_seen_ns);
+    age_.push_back(se.key);
+    e.age_it = std::prev(age_.end());
+    if (e.holds_singleton_slot &&
+        e.first_replica >= 0 && static_cast<std::size_t>(e.first_replica) < n) {
+      ++singleton_count_[static_cast<std::size_t>(e.first_replica)];
+    }
+    if (e.probe_depth > 0) {
+      Chain& chain = chains_[e.base_key];
+      ++chain.live;
+      chain.max_depth = std::max(chain.max_depth, e.probe_depth);
+    }
+    cache_.emplace(se.key, std::move(e));
+  }
+  stats_.cache_entries = cache_.size();
+  stats_.max_cache_entries =
+      std::max(stats_.max_cache_entries, stats_.cache_entries);
 }
 
 }  // namespace netco::core

@@ -117,8 +117,46 @@ struct CompareStats {
   std::uint64_t cleanup_passes = 0;
   std::uint64_t mismatch_detected = 0;    ///< kFirstCopy disagreements
   std::uint64_t rejected_replica = 0;     ///< ingests with replica ∉ [0,k)
+  /// Quorums reached in shadow mode (standby): the release was withheld.
+  std::uint64_t shadow_releases = 0;
+  /// Quorums reached on checkpoint-restored entries: the release was
+  /// withheld because the entry may already have been released pre-crash.
+  std::uint64_t suppressed_recovered = 0;
   std::size_t cache_entries = 0;          ///< current occupancy
   std::size_t max_cache_entries = 0;
+};
+
+/// One cache entry, externalized for checkpointing (src/resilience). The
+/// exemplar travels as raw wire bytes; everything else mirrors Entry.
+struct SnapshotEntry {
+  std::uint64_t key = 0;
+  std::uint64_t base_key = 0;
+  std::uint32_t probe_depth = 0;
+  std::vector<std::byte> payload;
+  std::uint64_t replica_mask = 0;
+  int contributions = 0;
+  int first_replica = 0;
+  bool holds_singleton_slot = false;
+  bool released = false;
+  bool recovered = false;
+  std::int64_t first_seen_ns = 0;
+};
+
+/// Serializable compare state: everything a warm restart needs to resume
+/// conservatively — cache entries in age order, counters, the live set
+/// with its `live_since` causality marks, and the case-2/3 monitor state.
+/// The per-replica rate windows are deliberately NOT captured: replaying
+/// them after a crash would re-accuse replicas for pre-crash traffic.
+struct CompareSnapshot {
+  std::int64_t at_ns = 0;  ///< when the snapshot was taken
+  CompareStats stats;
+  std::uint64_t live_mask = 0;
+  int live_count = 0;
+  std::vector<std::int64_t> live_since_ns;
+  std::vector<std::uint64_t> missed_streak;
+  std::vector<bool> flagged_block;
+  std::vector<bool> flagged_inactive;
+  std::vector<SnapshotEntry> entries;  ///< oldest first (age order)
 };
 
 /// Self-audit snapshot of the cache bookkeeping, for online invariant
@@ -189,6 +227,28 @@ class CompareCore {
   /// pass (billable via last_cleanup_work(), like any other pass).
   void set_cache_capacity(std::size_t capacity, sim::TimePoint now);
 
+  // --- crash-recovery integration (src/resilience) ----------------------
+
+  /// Captures the full serializable state (cache in age order, counters,
+  /// live set + causality marks, monitor state) as of `now`.
+  [[nodiscard]] CompareSnapshot snapshot(sim::TimePoint now) const;
+
+  /// Warm restart: discards all current state and rebuilds from a
+  /// snapshot. Every restored entry that was NOT released at checkpoint
+  /// time is tainted (`recovered`): the crash may have eaten a release
+  /// that happened after the checkpoint, so when such an entry later
+  /// reaches a quorum the release is *suppressed* (counted in
+  /// stats().suppressed_recovered, traced as compare.suppressed) — the
+  /// at-most-once guarantee costs a bounded gap loss, never a duplicate.
+  void restore(const CompareSnapshot& snap, sim::TimePoint now);
+
+  /// Shadow mode (warm standby): ingest, compare, and judge exactly like
+  /// a primary, but withhold every release — the entry is marked released
+  /// (so a late promotion cannot re-emit it) and counted in
+  /// stats().shadow_releases. Promotion flips this off.
+  void set_shadow(bool shadow) noexcept { shadow_ = shadow; }
+  [[nodiscard]] bool shadow() const noexcept { return shadow_; }
+
   // --- replica-health integration (src/health) -------------------------
 
   /// Installs (or, with nullptr, removes) the per-replica verdict sink.
@@ -253,6 +313,10 @@ class CompareCore {
     /// used to leak its slot and drift the quota upward forever.
     bool holds_singleton_slot = false;
     bool released = false;
+    /// Restored from a checkpoint while unreleased: its pre-crash release
+    /// status is unknowable, so any later quorum is suppressed (see
+    /// restore()). Never set on entries created by live traffic.
+    bool recovered = false;
     sim::TimePoint first_seen;
     /// Position in the age list for O(1) eviction.
     std::list<std::uint64_t>::iterator age_it;
@@ -290,6 +354,7 @@ class CompareCore {
   CompareConfig config_;
   CompareStats stats_;
   std::size_t last_cleanup_work_ = 0;
+  bool shadow_ = false;  ///< standby shadow mode: quorums never release
   std::string trace_label_ = "compare";
   VerdictSink* verdict_sink_ = nullptr;
   /// Bit per replica in [0, k): 1 = counts toward quorums. All-ones by

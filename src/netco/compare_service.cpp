@@ -31,8 +31,12 @@ void CompareService::schedule_sweep(controller::Controller& controller,
   // Periodic minority-packet eviction, at twice the hold-timeout rate.
   const sim::Duration period = state.config.compare.hold_timeout / 2;
   controller.simulator().schedule_after(period, [this, &controller, &state] {
-    state.core.sweep(controller.simulator().now());
-    act_on_advice(controller, state);
+    // A dead or wedged process runs no sweeps; entries simply age until
+    // the process is live again (hang) or restored (crash).
+    if (state_ == ProcessState::kLive) {
+      state.core.sweep(controller.simulator().now());
+      act_on_advice(controller, state);
+    }
     schedule_sweep(controller, state);
   });
 }
@@ -40,6 +44,13 @@ void CompareService::schedule_sweep(controller::Controller& controller,
 void CompareService::on_packet_in(controller::Controller& controller,
                                   openflow::ControlChannel& channel,
                                   openflow::PacketIn event) {
+  if (state_ != ProcessState::kLive) {
+    // Crashed / hung / fenced process: the packet-in is lost. This is the
+    // gap the resilience layer (checkpoints, standby, degraded policies)
+    // exists to bound.
+    ++downtime_drops_;
+    return;
+  }
   const auto it = edges_.find(channel.attached_switch().name());
   if (it == edges_.end()) return;
   EdgeState& state = it->second;

@@ -40,6 +40,18 @@ struct CompareAlarm {
 /// The out-of-band compare process.
 class CompareService : public controller::App {
  public:
+  /// Liveness of the compare *process* (one process serves every edge, as
+  /// in the paper's single h3 deployment). Crash-recovery (src/resilience)
+  /// drives the transitions; the default is kLive.
+  ///  * kCrashed — process dead, in-memory state lost. Packet-ins and
+  ///    sweeps are dropped until a warm restart restores the cores.
+  ///  * kHung — process wedged (heartbeats stop) but memory intact;
+  ///    un-hanging resumes exactly where it stopped.
+  ///  * kRetired — fenced after a standby promotion: even if the old
+  ///    primary comes back it must never release again (split-brain
+  ///    would mean duplicate egress).
+  enum class ProcessState : std::uint8_t { kLive, kCrashed, kHung, kRetired };
+
   /// Per-edge-switch deployment configuration.
   struct EdgeConfig {
     /// Edge ingress port → replica index in [0, k).
@@ -95,6 +107,15 @@ class CompareService : public controller::App {
     return unknown_port_drops_;
   }
 
+  /// Crash-recovery hooks (src/resilience): process liveness.
+  void set_process_state(ProcessState state) noexcept { state_ = state; }
+  [[nodiscard]] ProcessState process_state() const noexcept { return state_; }
+
+  /// Packet-ins dropped because the process was not kLive.
+  [[nodiscard]] std::uint64_t downtime_drops() const noexcept {
+    return downtime_drops_;
+  }
+
  private:
   struct EdgeState {
     EdgeConfig config;
@@ -110,6 +131,8 @@ class CompareService : public controller::App {
   std::unordered_map<std::string, EdgeState> edges_;
   std::vector<CompareAlarm> alarms_;
   std::uint64_t unknown_port_drops_ = 0;
+  ProcessState state_ = ProcessState::kLive;
+  std::uint64_t downtime_drops_ = 0;
 };
 
 }  // namespace netco::core

@@ -77,4 +77,11 @@ void install_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
   sw.table().add(std::move(spec), sw.simulator().now());
 }
 
+void remove_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
+                      std::uint16_t priority) {
+  openflow::Match match;
+  match.with_in_port(from);
+  sw.table().remove_strict(match, priority);
+}
+
 }  // namespace netco::core

@@ -81,4 +81,11 @@ void install_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
                        const std::vector<device::PortIndex>& to,
                        std::uint16_t priority = 30);
 
+/// Removes the fan-out rule install_hub_rules() placed for `from` — a hub
+/// crash in the rules-on-edge deployment. The hub is stateless, so a
+/// restart is exactly install_hub_rules() again: the switch's port and
+/// registry counters continue from where they were (counter continuity).
+void remove_hub_rules(openflow::OpenFlowSwitch& sw, device::PortIndex from,
+                      std::uint16_t priority = 30);
+
 }  // namespace netco::core

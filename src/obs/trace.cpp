@@ -23,6 +23,20 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kHealthQuarantine: return "health.quarantine";
     case TraceEvent::kHealthReadmit: return "health.readmit";
     case TraceEvent::kHealthBan: return "health.ban";
+    case TraceEvent::kCompareSuppressed: return "compare.suppressed";
+    case TraceEvent::kResilienceCheckpoint: return "resilience.checkpoint";
+    case TraceEvent::kResilienceCrash: return "resilience.crash";
+    case TraceEvent::kResilienceHang: return "resilience.hang";
+    case TraceEvent::kResilienceRestore: return "resilience.restore";
+    case TraceEvent::kResilienceFailover: return "resilience.failover";
+    case TraceEvent::kResilienceHeartbeatMiss:
+      return "resilience.heartbeat_miss";
+    case TraceEvent::kResilienceDegradedEnter:
+      return "resilience.degraded_enter";
+    case TraceEvent::kResilienceDegradedExit:
+      return "resilience.degraded_exit";
+    case TraceEvent::kResilienceHubCrash: return "resilience.hub_crash";
+    case TraceEvent::kResilienceHubRestart: return "resilience.hub_restart";
   }
   return "unknown";
 }

@@ -45,6 +45,19 @@ enum class TraceEvent : std::uint8_t {
   kHealthQuarantine,     ///< health loop masked a replica out of the fan-out
   kHealthReadmit,        ///< probation succeeded, replica back in the circuit
   kHealthBan,            ///< quarantine budget exhausted, replica out for good
+  kCompareSuppressed,    ///< quorum reached but release withheld (shadow
+                         ///< standby, or a checkpoint-restored entry whose
+                         ///< pre-crash release status is unknown)
+  kResilienceCheckpoint,    ///< compare state serialized to stable storage
+  kResilienceCrash,         ///< compare process died (state lost)
+  kResilienceHang,          ///< compare process stopped responding
+  kResilienceRestore,       ///< compare warm-restarted from a checkpoint
+  kResilienceFailover,      ///< standby promoted, feeder ports rewired
+  kResilienceHeartbeatMiss, ///< watchdog missed a heartbeat
+  kResilienceDegradedEnter, ///< no compare live; degraded policy engaged
+  kResilienceDegradedExit,  ///< compare back; degraded policy disengaged
+  kResilienceHubCrash,      ///< hub fan-out rules lost (edge index in replica)
+  kResilienceHubRestart,    ///< hub rules re-installed, counters continue
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

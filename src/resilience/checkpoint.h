@@ -1,0 +1,31 @@
+// Checkpoint codec for CompareSnapshot (the compare crash-recovery path).
+//
+// The format is a line-oriented text record — deliberately boring, so a
+// checkpoint written by one build parses under the next and a human can
+// read the recovery evidence in a bug report. Exemplar payloads travel as
+// hex so the round trip is byte-exact (the restored entry must memcmp
+// equal against late copies, exactly like the original).
+//
+// ResilienceManager round-trips *every* checkpoint through this codec
+// (serialize at checkpoint time, parse at restore time), so the encoder
+// and decoder cannot skew silently: a field one side forgets shows up as
+// a failed restore in the first soak, not in a disaster recovery.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netco/compare_core.h"
+
+namespace netco::resilience {
+
+/// Canonical text rendering of a snapshot (stable field order; equal
+/// snapshots serialize to equal bytes).
+[[nodiscard]] std::string serialize_snapshot(const core::CompareSnapshot& snap);
+
+/// Parses a serialize_snapshot() record. std::nullopt on any malformed
+/// line — a torn checkpoint must fail loudly, not restore half a cache.
+[[nodiscard]] std::optional<core::CompareSnapshot> parse_snapshot(
+    const std::string& text);
+
+}  // namespace netco::resilience

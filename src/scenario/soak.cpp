@@ -51,6 +51,9 @@ SoakResult run_soak(const SoakOptions& options) {
     // a fifth of the run instead of a fixed 100 ms.
     params.start = std::min(params.start,
                             sim::Duration::nanoseconds(horizon.ns() / 5));
+    // With the resilience subsystem on, the default plan also kills the
+    // trusted compare once mid-run — the failure the subsystem exists for.
+    if (opts.resilience.enabled) params.compare_crashes = 1;
     opts.plan = faultinject::FaultPlan::random(options.seed, params);
   }
 
@@ -62,10 +65,23 @@ SoakResult run_soak(const SoakOptions& options) {
   // Adaptive mode: the checker follows health.quarantine/readmit records
   // in the stream, so quarantine-shrunken quorums validate correctly.
   check_cfg.k = options.k;
+  // The at-most-once egress invariant only engages for resilience runs:
+  // crash-recovery and failover are the paths that could double-release.
+  check_cfg.check_duplicates = opts.resilience.enabled;
   faultinject::QuorumTraceChecker checker(check_cfg);
   obs::ScopedTraceSink scoped(checker);
 
+  // Construct after the topology, destroy before it (taps and timers
+  // reference the edges). Requires the compare (combine mode).
+  std::unique_ptr<resilience::ResilienceManager> resilience_mgr;
+  core::CombinerInstance& combiner_early = topo.combiner();
+  if (opts.resilience.enabled && combiner_early.compare != nullptr) {
+    resilience_mgr = std::make_unique<resilience::ResilienceManager>(
+        topo.simulator(), combiner_early, opts.resilience);
+  }
+
   faultinject::FaultInjector injector(topo, opts.plan);
+  injector.set_resilience(resilience_mgr.get());
   injector.arm();
 
   host::UdpSenderConfig scfg;
@@ -85,6 +101,12 @@ SoakResult run_soak(const SoakOptions& options) {
           combiner.compare->core_for(edge->name());
       if (core == nullptr) continue;
       faultinject::check_audit(core->audit(), edge->name(),
+                               result.invariants);
+    }
+    // The standby's shadow cores keep the same bookkeeping invariants.
+    for (std::size_t i = 0; i < combiner.shadow_cores.size(); ++i) {
+      faultinject::check_audit(combiner.shadow_cores[i]->audit(),
+                               "standby-" + std::to_string(i),
                                result.invariants);
     }
     ++result.audits;
@@ -162,6 +184,17 @@ SoakResult run_soak(const SoakOptions& options) {
       tail_sent > 0
           ? static_cast<double>(tail_delivered) / static_cast<double>(tail_sent)
           : 0.0;
+  result.duplicate_egress = checker.duplicates();
+  if (resilience_mgr != nullptr) {
+    const resilience::ResilienceSummary rs = resilience_mgr->summary();
+    result.resilience_checkpoints = rs.checkpoints;
+    result.resilience_failovers = rs.failovers;
+    result.resilience_degraded_entries = rs.degraded_entries;
+    result.time_to_failover_ns = rs.time_to_failover_ns;
+    result.gap_loss = rs.gap_loss;
+    result.downtime_drops = rs.downtime_drops;
+    result.suppressed_recovered = rs.suppressed_recovered;
+  }
   if (health::HealthService* health = topo.health()) {
     const health::HealthSummary summary = health->summary();
     result.health_quarantines = summary.quarantines;

@@ -18,6 +18,7 @@
 #include "faultinject/invariants.h"
 #include "health/monitor.h"
 #include "netco/compare_core.h"
+#include "resilience/resilience.h"
 #include "scenario/scenarios.h"
 
 namespace netco::scenario {
@@ -47,6 +48,10 @@ struct SoakOptions {
   /// Replica-health loop configuration (disabled by default — a soak with
   /// health off is bit-identical to one built before the subsystem).
   health::HealthConfig health;
+  /// Trusted-component resilience (disabled by default, same guarantee).
+  /// Enabling it also turns on the checker's duplicate-egress invariant
+  /// and, when the default fault plan is used, adds one compare crash.
+  resilience::ResilienceConfig resilience;
 };
 
 /// Everything a soak run produces.
@@ -81,6 +86,15 @@ struct SoakResult {
   std::uint64_t health_probe_windows = 0;
   std::int64_t first_quarantine_ns = -1;  ///< sim-time, -1 = never
   std::int64_t first_readmit_ns = -1;
+  /// Resilience outcome (all zero / -1 while the subsystem is disabled).
+  std::uint64_t resilience_checkpoints = 0;
+  std::uint64_t resilience_failovers = 0;
+  std::uint64_t resilience_degraded_entries = 0;
+  std::int64_t time_to_failover_ns = -1;  ///< -1 = no failover happened
+  std::uint64_t gap_loss = 0;             ///< quorums nobody emitted
+  std::uint64_t duplicate_egress = 0;     ///< trace-checker duplicates
+  std::uint64_t downtime_drops = 0;       ///< packet-ins the dead process ate
+  std::uint64_t suppressed_recovered = 0; ///< post-restart taint suppressions
   /// Merged verdict of the trace checker and every cache audit.
   faultinject::InvariantReport invariants;
   /// FNV-1a over the canonical trace stream (determinism fingerprint).

@@ -70,6 +70,103 @@ TEST(FaultPlan, EmptyHorizonYieldsEmptyPlan) {
   EXPECT_TRUE(FaultPlan::random(1, params).empty());
 }
 
+TEST(FaultPlan, JsonRoundTripsEveryKindAndBehavior) {
+  // One event of every kind, with every field in play, survives
+  // to_json → from_json → to_json byte-identically. This is the bench
+  // artifact's contract: a serialized plan can be reloaded and replayed.
+  FaultPlan plan;
+  std::int64_t t = 1'000'000;
+  const auto at = [&t] { return t += 1'000'000; };
+  plan.events.push_back({at(), FaultKind::kLinkDown, 0, 1, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kLinkUp, 0, 1, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kLinkLoss, 1, 2, 0.25, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kLinkLatency, 1, 0, 0, 150'000, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kReplicaCrash, -1, 2, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kReplicaRestart, -1, 2, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kBehaviorSwap, 0, 1, 0, 0, 0,
+                         SwapBehavior::kDrop, 0});
+  plan.events.push_back({at(), FaultKind::kBehaviorSwap, 0, 1, 0, 0, 0,
+                         SwapBehavior::kCorrupt, 0});
+  plan.events.push_back({at(), FaultKind::kBehaviorSwap, 0, 1, 0, 0, 0,
+                         SwapBehavior::kReroute, 0});
+  plan.events.push_back({at(), FaultKind::kCacheSqueeze, -1, 0, 0, 0, 48,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kCacheRestore, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kCompareCrash, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 40'000'000});
+  plan.events.push_back({at(), FaultKind::kCompareHang, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 10'000'000});
+  plan.events.push_back({at(), FaultKind::kHubCrash, 1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 5'000'000});
+  plan.events.push_back({at(), FaultKind::kHeartbeatLoss, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 25'000'000});
+  plan.normalize();
+
+  const std::string json = plan.to_json();
+  const auto parsed = FaultPlan::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& a = plan.events[i];
+    const FaultEvent& b = parsed->events[i];
+    EXPECT_EQ(a.at_ns, b.at_ns) << "event " << i;
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.edge, b.edge) << "event " << i;
+    EXPECT_EQ(a.replica, b.replica) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate) << "event " << i;
+    EXPECT_EQ(a.extra_latency_ns, b.extra_latency_ns) << "event " << i;
+    EXPECT_EQ(a.cache_capacity, b.cache_capacity) << "event " << i;
+    EXPECT_EQ(a.behavior, b.behavior) << "event " << i;
+    EXPECT_EQ(a.duration_ns, b.duration_ns) << "event " << i;
+  }
+  EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(FaultPlan, JsonRoundTripsRandomPlanWithTrustedFaults) {
+  FaultPlanParams params;
+  params.k = 5;
+  params.compare_crashes = 1;
+  params.compare_hangs = 1;
+  params.hub_crashes = 2;
+  params.heartbeat_losses = 1;
+  const FaultPlan plan = FaultPlan::random(99, params);
+  ASSERT_FALSE(plan.empty());
+
+  int trusted = 0;
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultKind::kCompareCrash ||
+        e.kind == FaultKind::kCompareHang ||
+        e.kind == FaultKind::kHubCrash ||
+        e.kind == FaultKind::kHeartbeatLoss) {
+      ++trusted;
+      EXPECT_GT(e.duration_ns, 0) << "trusted faults always recover";
+      EXPECT_LT(e.at_ns + e.duration_ns, params.horizon.ns());
+    }
+  }
+  EXPECT_EQ(trusted, 5);
+
+  const auto parsed = FaultPlan::from_json(plan.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_json(), plan.to_json());
+}
+
+TEST(FaultPlan, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(FaultPlan::from_json("{\"t\":banana}").has_value());
+  EXPECT_FALSE(
+      FaultPlan::from_json(
+          "{\"t\":1,\"kind\":\"no.such.kind\",\"edge\":0,\"replica\":0,"
+          "\"loss\":0,\"latency_ns\":0,\"capacity\":0,\"behavior\":\"honest\","
+          "\"duration_ns\":0}")
+          .has_value());
+}
+
 // --- FaultInjector --------------------------------------------------------
 
 TEST(FaultInjector, AppliesLinkAndCacheEventsOnRealTopology) {

@@ -95,5 +95,71 @@ TEST(QuorumEdge, RejectionDoesNotDisturbExistingEntry) {
   EXPECT_EQ(core.stats().duplicates_same_port, 1u);
 }
 
+// --- quorum-size changes with entries in flight ---------------------------
+//
+// The health loop (and the resilience manager's degraded modes) resize the
+// live set *while entries are mid-vote*. The quorum decision is evaluated
+// against the live set at each arrival, so an in-flight entry must follow
+// the new arithmetic — votes already banked from now-quarantined replicas
+// stop counting, and a shrunken quorum can be completed by fewer copies.
+
+TEST(QuorumEdge, InFlightEntryReleasesAtShrunkenQuorum) {
+  // k=5 needs 3 votes; two are banked. Quarantining two non-contributors
+  // shrinks the live set to 3 (quorum 2), so the next live copy releases
+  // with what would have been one vote short under the old arithmetic.
+  CompareCore core(CompareConfig{.k = 5});
+  const auto p = numbered_packet(70);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(1, p, at_ms(0)).has_value());
+  core.set_replica_live(3, false, at_ms(1));
+  core.set_replica_live(4, false, at_ms(1));
+  EXPECT_EQ(core.live_quorum(), 2);
+  EXPECT_TRUE(core.ingest(2, p, at_ms(2)).has_value());
+  EXPECT_EQ(core.stats().released, 1u);
+}
+
+TEST(QuorumEdge, QuarantinedContributorsBankedVoteStopsCounting) {
+  // Replica 1 votes, then gets quarantined: its banked vote must not help
+  // the entry across the line. With 4 live replicas the quorum is 3, and
+  // only live contributions count — so {0, 2} is short and {0, 2, 3}
+  // releases.
+  CompareCore core(CompareConfig{.k = 5});
+  const auto p = numbered_packet(71);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  EXPECT_FALSE(core.ingest(1, p, at_ms(0)).has_value());
+  core.set_replica_live(1, false, at_ms(1));
+  EXPECT_EQ(core.live_quorum(), 3);
+  EXPECT_FALSE(core.ingest(2, p, at_ms(2)).has_value());  // {0,2}: 2 < 3
+  EXPECT_TRUE(core.ingest(3, p, at_ms(2)).has_value());   // {0,2,3}: 3
+  EXPECT_EQ(core.stats().released, 1u);
+}
+
+TEST(QuorumEdge, ShrinkToTwoFlipsInFlightEntryToFirstCopyMode) {
+  // A live set of 2 falls back to detection mode (a majority of 2 would
+  // stall on any single slow replica). An entry pending from before the
+  // shrink releases on its next live copy.
+  CompareCore core(CompareConfig{.k = 3});
+  const auto p = numbered_packet(72);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(0)).has_value());
+  core.set_replica_live(2, false, at_ms(1));
+  EXPECT_TRUE(core.degraded_first_copy());
+  EXPECT_TRUE(core.ingest(1, p, at_ms(2)).has_value());
+  EXPECT_EQ(core.stats().released, 1u);
+}
+
+TEST(QuorumEdge, ReadmittedReplicaVotesOnInFlightEntry) {
+  // The reverse transition: a replica readmitted mid-entry contributes a
+  // full vote to entries still pending, completing the restored quorum.
+  CompareCore core(CompareConfig{.k = 5});
+  core.set_replica_live(4, false, at_ms(0));
+  const auto p = numbered_packet(73);
+  EXPECT_FALSE(core.ingest(0, p, at_ms(1)).has_value());
+  EXPECT_FALSE(core.ingest(1, p, at_ms(1)).has_value());
+  core.set_replica_live(4, true, at_ms(2));
+  EXPECT_EQ(core.live_quorum(), 3);
+  EXPECT_TRUE(core.ingest(4, p, at_ms(3)).has_value());  // {0,1,4}: quorum
+  EXPECT_EQ(core.stats().released, 1u);
+}
+
 }  // namespace
 }  // namespace netco::core
