@@ -11,6 +11,7 @@
 //   NETCO_SOAK_PACKETS=n  — datagrams offered per configuration run
 //   NETCO_BENCH_QUICK=1   — small CI-sized runs
 //   NETCO_SOAK_OUT=path   — summary path (default BENCH_soak.json)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,7 +35,37 @@ struct SoakConfig {
   /// plan then also kills the trusted compare once mid-run, and the
   /// duplicate-egress invariant arms.
   bool failover = false;
+  /// Run with the sampled-verification fast path (§XII): 1-in-N packets
+  /// take the full k-way compare, the rest release on a reputation-
+  /// weighted first copy at the edge. Arms the duplicate-egress invariant.
+  bool sampled = false;
+  /// Replace the default random fault plan with one deterministic
+  /// byzantine corrupt-swap (plus honest swap-back): the matched-plan
+  /// throughput/detection pair for §XII. The random plan's churn keeps
+  /// the adaptive sampler collapsed for a fixed-size transient, so short
+  /// runs would measure the transient, not steady-state throughput — and
+  /// its crashes quarantine replicas before the swap, degenerating the
+  /// time-to-quarantine telemetry.
+  bool single_swap = false;
 };
+
+netco::faultinject::FaultPlan single_swap_plan(std::int64_t horizon_ns) {
+  using netco::faultinject::FaultEvent;
+  using netco::faultinject::FaultKind;
+  using netco::faultinject::SwapBehavior;
+  netco::faultinject::FaultPlan plan;
+  // Corrupt replica 2 a fifth of the way in; hand it back honest at 60%
+  // so the run also exercises probation probes and readmission.
+  plan.events.push_back(FaultEvent{.at_ns = horizon_ns / 5,
+                                   .kind = FaultKind::kBehaviorSwap,
+                                   .replica = 2,
+                                   .behavior = SwapBehavior::kCorrupt});
+  plan.events.push_back(FaultEvent{.at_ns = horizon_ns * 3 / 5,
+                                   .kind = FaultKind::kBehaviorSwap,
+                                   .replica = 2,
+                                   .behavior = SwapBehavior::kHonest});
+  return plan;
+}
 
 std::uint64_t packets_per_run() {
   if (const char* env = std::getenv("NETCO_SOAK_PACKETS");
@@ -63,6 +94,15 @@ int main() {
       // (first-copy would let a post-restart straggler re-release).
       {"k3-failover", 3, core::ReleasePolicy::kMajority, 16, false, true},
       {"k5-failover", 5, core::ReleasePolicy::kMajority, 10, false, true},
+      // The §XII matched pair: same circuit, seed, health loop, and
+      // deterministic single corrupt-swap plan — differing only in the
+      // sampled-verification fast path. k5-sampled / k5-swap wall-pps is
+      // the headline speedup; their time_to_quarantine delta is its
+      // detection-latency cost.
+      {"k5-swap", 5, core::ReleasePolicy::kMajority, 10, true, false, false,
+       true},
+      {"k5-sampled", 5, core::ReleasePolicy::kMajority, 10, true, false,
+       true, true},
   };
   const std::uint64_t packets = packets_per_run();
 
@@ -76,6 +116,8 @@ int main() {
                      std::to_string(packets) + ",\"configs\":[";
 
   bool first = true;
+  double k5_swap_wall_pps = 0.0;
+  double k5_sampled_wall_pps = 0.0;
   for (const SoakConfig& config : configs) {
     scenario::SoakOptions options;
     options.k = config.k;
@@ -84,6 +126,18 @@ int main() {
     options.packets = packets;
     options.rate = DataRate::megabits_per_sec(config.rate_mbps);
     options.health.enabled = config.health;
+    options.sampling.enabled = config.sampled;
+    // The matched pair measures the compare path: both sides feed the
+    // checker protocol records only, so the (identical) hub/replica/link
+    // narration's serialize-and-hash cost does not dilute the ratio.
+    options.protocol_trace_only = config.single_swap;
+    if (config.single_swap) {
+      // Mirror scenario::expected_duration: horizon = packets / offered pps.
+      const double pps = static_cast<double>(options.rate.bps()) /
+                         (static_cast<double>(options.payload_bytes) * 8.0);
+      options.plan = single_swap_plan(static_cast<std::int64_t>(
+          1e9 * static_cast<double>(packets) / pps));
+    }
     if (config.failover) {
       options.resilience.enabled = true;
       options.resilience.standby = true;
@@ -147,11 +201,31 @@ int main() {
           static_cast<unsigned long long>(a.resilience_checkpoints),
           a.tail_goodput_ratio);
     }
+    if (config.sampled) {
+      std::printf(
+          "               sampled: %llu fast-path releases, %llu escalated, "
+          "duplicates %llu, time-to-quarantine %.1fms\n",
+          static_cast<unsigned long long>(a.fastpath_released),
+          static_cast<unsigned long long>(a.sampled_escalated),
+          static_cast<unsigned long long>(a.duplicate_egress),
+          a.time_to_quarantine_ns >= 0
+              ? static_cast<double>(a.time_to_quarantine_ns) / 1e6
+              : -1.0);
+    }
     for (const std::string& detail : a.invariants.details) {
       std::printf("               violation: %s\n", detail.c_str());
     }
+    // Each config runs twice for the determinism check, which also gives
+    // two wall samples; the speedup ratio takes the best of each pair
+    // (min-of-N timing) so a scheduler hiccup in one run does not skew
+    // the headline number on a noisy host.
+    if (std::string(config.name) == "k5-swap") {
+      k5_swap_wall_pps = std::max(a.wall_pps, b.wall_pps);
+    } else if (std::string(config.name) == "k5-sampled") {
+      k5_sampled_wall_pps = std::max(a.wall_pps, b.wall_pps);
+    }
 
-    char buf[1152];
+    char buf[1536];
     std::snprintf(
         buf, sizeof buf,
         "%s\n{\"name\":\"%s\",\"k\":%d,\"policy\":\"%s\","
@@ -168,6 +242,9 @@ int main() {
         "\"failovers\":%llu,\"time_to_failover_ns\":%lld,\"gap_loss\":%llu,"
         "\"duplicate_egress\":%llu,\"downtime_drops\":%llu,"
         "\"suppressed_recovered\":%llu},"
+        "\"sampling\":{\"enabled\":%s,\"fastpath_released\":%llu,"
+        "\"sampled_escalated\":%llu,\"egress_set_hash\":\"%016llx\","
+        "\"first_swap_ns\":%lld,\"time_to_quarantine_ns\":%lld},"
         "\"stream_hash\":\"%016llx\",\"deterministic\":%s}",
         first ? "" : ",", config.name, config.k,
         config.policy == core::ReleasePolicy::kFirstCopy ? "first_copy"
@@ -197,13 +274,28 @@ int main() {
         static_cast<unsigned long long>(a.duplicate_egress),
         static_cast<unsigned long long>(a.downtime_drops),
         static_cast<unsigned long long>(a.suppressed_recovered),
+        config.sampled ? "true" : "false",
+        static_cast<unsigned long long>(a.fastpath_released),
+        static_cast<unsigned long long>(a.sampled_escalated),
+        static_cast<unsigned long long>(a.egress_set_hash),
+        static_cast<long long>(a.first_swap_ns),
+        static_cast<long long>(a.time_to_quarantine_ns),
         static_cast<unsigned long long>(a.stream_hash),
         deterministic ? "true" : "false");
     json += buf;
     first = false;
   }
 
-  json += "\n],\"verdict\":\"";
+  const double sampled_speedup =
+      k5_swap_wall_pps > 0.0 ? k5_sampled_wall_pps / k5_swap_wall_pps : 0.0;
+  std::printf(
+      "\nk5 sampled fast path: %.2fx wall-pps over the unsampled matched "
+      "baseline (k5-swap)\n",
+      sampled_speedup);
+
+  json += "\n],\"sampled_speedup_vs_unsampled\":" +
+          std::to_string(sampled_speedup);
+  json += ",\"verdict\":\"";
   json += all_ok ? "pass" : "fail";
   json += "\"}";
 

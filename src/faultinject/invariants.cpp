@@ -55,6 +55,61 @@ void check_audit(const core::CompareAudit& audit, const std::string& where,
       report.note(buf);
     }
   }
+
+  if (!audit.vote_active) return;
+  const core::VoteCacheAudit& v = audit.vote;
+  ++report.checks;
+  if (!v.consistent) {
+    std::snprintf(buf, sizeof buf,
+                  "%s: vote cache inconsistent (entries=%zu age=%zu "
+                  "chain=%zu free=%zu arena=%zu)",
+                  where.c_str(), v.entries, v.age_entries, v.chain_entries,
+                  v.free_slots, v.arena);
+    report.note(buf);
+  }
+  ++report.checks;
+  if (!v.age_ordered) {
+    report.note(where + ": vote cache age list not oldest-first");
+  }
+  ++report.checks;
+  if (v.entries > v.capacity) {
+    std::snprintf(buf, sizeof buf,
+                  "%s: vote cache %zu exceeds capacity %zu", where.c_str(),
+                  v.entries, v.capacity);
+    report.note(buf);
+  }
+  for (std::size_t r = 0; r < v.quota_counts.size(); ++r) {
+    ++report.checks;
+    if (v.quota_counts[r] != v.live_quota_held[r]) {
+      std::snprintf(
+          buf, sizeof buf,
+          "%s: vote cache replica %zu quota counter %llu != held slots %llu",
+          where.c_str(), r,
+          static_cast<unsigned long long>(v.quota_counts[r]),
+          static_cast<unsigned long long>(v.live_quota_held[r]));
+      report.note(buf);
+    }
+  }
+}
+
+const QuorumTraceChecker::EgressGroup& QuorumTraceChecker::egress_group(
+    const std::string& component) {
+  const auto hit = group_by_component_.find(component);
+  if (hit != group_by_component_.end()) return hit->second;
+  // Cold path: a component seen for the first time. Group by the wire:
+  // "compare/netco-e0" and "standby/netco-e0" both emit onto edge
+  // netco-e0, so they must intern to the same group.
+  const std::size_t slash = component.find('/');
+  const std::string suffix =
+      slash == std::string::npos ? component : component.substr(slash + 1);
+  auto [git, inserted] = group_by_suffix_.try_emplace(suffix);
+  if (inserted) {
+    git->second.id = group_by_suffix_.size() - 1;
+    git->second.name_fnv =
+        fnv1a(std::as_bytes(std::span(suffix.data(), suffix.size())));
+    last_release_.resize(group_by_suffix_.size());
+  }
+  return group_by_component_.emplace(component, git->second).first->second;
 }
 
 void QuorumTraceChecker::append(const obs::TraceRecord& record) {
@@ -70,7 +125,9 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
             1ULL << static_cast<unsigned>(record.replica);
       }
       break;
-    case obs::TraceEvent::kCompareRelease: {
+    case obs::TraceEvent::kCompareRelease:
+    case obs::TraceEvent::kCompareFastpath: {
+      const bool fastpath = record.event == obs::TraceEvent::kCompareFastpath;
       ++releases_;
       ++report_.checks;
       const auto comp = votes_.find(record.component);
@@ -82,6 +139,12 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
                 }()
               : 0ULL;
       std::uint64_t counted = mask;
+      // A fast-path release record names its deciding replica — the vote
+      // that tripped the release rule rides the release record instead of
+      // a separate ingest record (the sampled mode's trace thinning).
+      if (fastpath && record.replica >= 0 && record.replica < 64) {
+        counted |= 1ULL << static_cast<unsigned>(record.replica);
+      }
       int needed = config_.first_copy ? 1 : config_.quorum;
       if (config_.k > 0) {
         // Adaptive mode: mirror CompareCore's live-set rules against the
@@ -90,6 +153,9 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
         const int live = config_.k - std::popcount(quarantined_mask_);
         needed = (config_.first_copy || live <= 2) ? 1 : live / 2 + 1;
       }
+      // A fast-path release is first-copy-shaped by design: legal with one
+      // vote, as long as that vote came from a non-quarantined replica.
+      if (fastpath) needed = 1;
       const int vote_count = std::popcount(counted);
       if (vote_count < needed) {
         char buf[128];
@@ -101,30 +167,22 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
                       static_cast<long long>(record.at_ns));
         report_.note(buf);
       }
+      const EgressGroup& group = egress_group(record.component);
+      egress_hash_ += hash_mix(record.packet_id, group.name_fnv);
       if (config_.check_duplicates) {
-        // Group by the wire: "compare/netco-e0" and "standby/netco-e0"
-        // both emit onto edge netco-e0.
-        const std::size_t slash = record.component.find('/');
-        std::string group = slash == std::string::npos
-                                ? record.component
-                                : record.component.substr(slash + 1);
         // Prune releases that fell out of the window; forget a mapped
         // time only if no newer release overwrote it.
         while (!release_log_.empty() &&
                record.at_ns - std::get<0>(release_log_.front()) >
                    config_.duplicate_window_ns) {
-          const auto& [ns, g, id] = release_log_.front();
-          const auto git = last_release_.find(g);
-          if (git != last_release_.end()) {
-            const auto iit = git->second.find(id);
-            if (iit != git->second.end() && iit->second == ns) {
-              git->second.erase(iit);
-            }
-          }
+          const auto& [ns, gid, id] = release_log_.front();
+          auto& stale = last_release_[gid];
+          const auto iit = stale.find(id);
+          if (iit != stale.end() && iit->second == ns) stale.erase(iit);
           release_log_.pop_front();
         }
         ++report_.checks;
-        auto& per_group = last_release_[group];
+        auto& per_group = last_release_[group.id];
         const auto it = per_group.find(record.packet_id);
         if (it != per_group.end() &&
             record.at_ns - it->second <= config_.duplicate_window_ns) {
@@ -140,8 +198,7 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
           report_.note(buf);
         }
         per_group[record.packet_id] = record.at_ns;
-        release_log_.emplace_back(record.at_ns, std::move(group),
-                                  record.packet_id);
+        release_log_.emplace_back(record.at_ns, group.id, record.packet_id);
       }
       break;
     }

@@ -102,6 +102,16 @@ class QuorumTraceChecker final : public obs::TraceSink {
   /// hashes across two runs mean byte-identical trace streams.
   [[nodiscard]] std::uint64_t stream_hash() const noexcept { return hash_; }
 
+  /// Order-independent digest of every egress event: a wrapping sum of
+  /// hash_mix(packet_id, fnv1a(egress group)) over both release kinds
+  /// (compare.release and compare.fastpath). Two runs that delivered the
+  /// same multiset of packets onto the same wires agree on this hash even
+  /// when the *timing* (and hence the stream hash) differs — the
+  /// differential-testing anchor for sampled vs full verification.
+  [[nodiscard]] std::uint64_t egress_set_hash() const noexcept {
+    return egress_hash_;
+  }
+
  private:
   Config config_;
   obs::TraceSink* tee_;
@@ -109,6 +119,7 @@ class QuorumTraceChecker final : public obs::TraceSink {
   std::uint64_t records_ = 0;
   std::uint64_t releases_ = 0;
   std::uint64_t hash_ = kFnvOffset;
+  std::uint64_t egress_hash_ = 0;
   /// Bit per replica currently quarantined or banned (config_.k mode).
   std::uint64_t quarantined_mask_ = 0;
   /// component → packet id → replica vote bitmask. Entries die with their
@@ -117,14 +128,23 @@ class QuorumTraceChecker final : public obs::TraceSink {
   std::unordered_map<std::string,
                      std::unordered_map<std::uint64_t, std::uint64_t>>
       votes_;
-  /// Duplicate-egress tracking (check_duplicates mode): per egress group
-  /// (component suffix), packet id → last release time, plus a pruning
-  /// log so the maps stay bounded by the window's release volume.
+  /// Egress groups (component suffix after '/') interned to dense ids with
+  /// their name-FNV precomputed: release records are the hot path of a
+  /// sampled soak, and re-hashing / re-substringing the component per
+  /// record dominated the checker's cost before interning.
+  struct EgressGroup {
+    std::size_t id = 0;
+    std::uint64_t name_fnv = 0;
+  };
+  [[nodiscard]] const EgressGroup& egress_group(const std::string& component);
+  std::unordered_map<std::string, EgressGroup> group_by_component_;
+  std::unordered_map<std::string, EgressGroup> group_by_suffix_;
+  /// Duplicate-egress tracking (check_duplicates mode): per egress group,
+  /// packet id → last release time, plus a pruning log so the maps stay
+  /// bounded by the window's release volume.
   std::uint64_t duplicates_ = 0;
-  std::unordered_map<std::string,
-                     std::unordered_map<std::uint64_t, std::int64_t>>
-      last_release_;
-  std::deque<std::tuple<std::int64_t, std::string, std::uint64_t>>
+  std::vector<std::unordered_map<std::uint64_t, std::int64_t>> last_release_;
+  std::deque<std::tuple<std::int64_t, std::size_t, std::uint64_t>>
       release_log_;
 };
 

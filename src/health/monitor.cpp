@@ -1,5 +1,7 @@
 #include "health/monitor.h"
 
+#include <algorithm>
+
 namespace netco::health {
 
 const char* to_string(ReplicaState state) noexcept {
@@ -29,6 +31,13 @@ int HealthMonitor::live_replicas() const noexcept {
     if (r.state == ReplicaState::kLive) ++live;
   }
   return live;
+}
+
+double HealthMonitor::weight(int index) const noexcept {
+  if (index < 0 || index >= static_cast<int>(replicas_.size())) return 0.0;
+  const ReplicaHealth& r = replicas_[static_cast<std::size_t>(index)];
+  if (r.state != ReplicaState::kLive) return 0.0;
+  return std::clamp(1.0 - r.score, 0.0, 1.0);
 }
 
 void HealthMonitor::on_verdict(const core::ReplicaVerdict& verdict) {

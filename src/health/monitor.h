@@ -127,6 +127,12 @@ class HealthMonitor {
   /// Replicas currently in kLive.
   [[nodiscard]] int live_replicas() const noexcept;
 
+  /// Reputation weight exported to the compare fast path (§XII): a live
+  /// replica weighs 1 - score (clamped to [0,1], so 1 = pristine); a
+  /// quarantined or banned replica weighs 0 — it must never release a
+  /// packet on first-copy trust.
+  [[nodiscard]] double weight(int index) const noexcept;
+
   [[nodiscard]] const HealthConfig& config() const noexcept { return config_; }
 
  private:

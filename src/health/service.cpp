@@ -108,7 +108,10 @@ HealthService::HealthService(sim::Simulator& simulator,
   NETCO_ASSERT(combiner_.compare != nullptr);
   for (const auto* edge : combiner_.edges) {
     core::CompareCore* core = combiner_.compare->core_for(edge->name());
-    if (core != nullptr) core->set_verdict_sink(this);
+    if (core != nullptr) {
+      core->set_verdict_sink(this);
+      edge_cores_.push_back(core);
+    }
   }
 }
 
@@ -125,6 +128,20 @@ void HealthService::on_verdict(const core::ReplicaVerdict& verdict) {
   monitor_.on_verdict(verdict);
   for (const HealthAction& action : monitor_.take_actions()) {
     apply(action);
+  }
+  // Actions only ever concern the verdict's own replica, so one export
+  // after the action loop reflects both the score move and any state
+  // transition it caused.
+  push_weight(verdict.replica);
+}
+
+void HealthService::push_weight(int replica) {
+  const double w = monitor_.weight(replica);
+  for (core::CompareCore* core : edge_cores_) {
+    core->set_replica_weight(replica, w);
+  }
+  for (core::CompareCore* core : combiner_.shadow_cores) {
+    if (core != nullptr) core->set_replica_weight(replica, w);
   }
 }
 

@@ -119,9 +119,17 @@ class HealthService final : public core::VerdictSink {
 
  private:
   void apply(const HealthAction& action);
+  /// Exports the replica's current reputation weight to every edge compare
+  /// core (and any registered shadow core) — the fast path's vote weights
+  /// track the monitor's EWMA in lockstep (§XII).
+  void push_weight(int replica);
 
   sim::Simulator& simulator_;
   core::CombinerInstance& combiner_;
+  /// Edge compare cores, resolved once — push_weight runs per verdict and
+  /// must not re-hash edge names on the hot path. (Shadow cores register
+  /// after construction and are iterated live from the combiner.)
+  std::vector<core::CompareCore*> edge_cores_;
   HealthMonitor monitor_;
   QuarantineManager manager_;
   obs::Observability* obs_;

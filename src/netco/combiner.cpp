@@ -175,8 +175,23 @@ CombinerInstance build_combiner(device::Network& network,
       edge.table().add(std::move(punt), now);
     }
 
+    // Sampled-verification fast path (§XII): replica copies short-circuit
+    // the packet-in round trip via a trusted edge tap; only the 1-in-N
+    // elected packets take the classic punt rules installed above.
+    FastPathTap::Config tap_config;
+    if (options.compare.sampling.enabled) {
+      tap_config.replica_ports = edge_config.replica_ports;
+      tap_config.local_macs = attachments[i].local_macs;
+    }
+
     inst.compare->configure_edge(edge.name(), std::move(edge_config));
     inst.compare_controller->attach(edge);
+
+    if (options.compare.sampling.enabled) {
+      inst.fastpath_taps.push_back(std::make_unique<FastPathTap>(
+          std::move(tap_config), inst.compare->core_for(edge.name()), &edge));
+      edge.set_interceptor(inst.fastpath_taps.back().get());
+    }
   }
 
   return inst;

@@ -28,6 +28,7 @@
 #include "link/link.h"
 #include "netco/compare_core.h"
 #include "netco/compare_service.h"
+#include "netco/fastpath.h"
 #include "openflow/switch.h"
 
 namespace netco::core {
@@ -80,6 +81,11 @@ struct CombinerInstance {
   /// The compare process (nullptr when combine == false).
   std::unique_ptr<controller::Controller> compare_controller;
   std::unique_ptr<CompareService> compare;
+
+  /// Sampled-verification fast-path taps, one per edge (empty unless
+  /// options.compare.sampling.enabled): replica traffic short-circuits
+  /// the packet-in round trip through these (§XII).
+  std::vector<std::unique_ptr<FastPathTap>> fastpath_taps;
 
   /// Shadow compare cores registered by a warm standby (src/resilience,
   /// one per edge; non-owning). The health subsystem mirrors every

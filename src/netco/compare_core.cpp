@@ -12,6 +12,10 @@ namespace netco::core {
 namespace {
 /// Salt for the perturbed-key collision chain (see ingest()).
 constexpr std::uint64_t kProbeSalt = 0xC01115104EULL;
+/// Salt for the sampled-verification election (see sampled_key()).
+/// Distinct from kProbeSalt and the vote cache's bucket salt so the
+/// election does not correlate with either collision pattern.
+constexpr std::uint64_t kSampleSalt = 0xFA57C0DE5ULL;
 }  // namespace
 
 const char* to_string(VerdictKind kind) noexcept {
@@ -43,6 +47,19 @@ CompareCore::CompareCore(CompareConfig config)
   flagged_block_.assign(n, false);
   flagged_inactive_.assign(n, false);
   live_since_.assign(n, sim::TimePoint::origin());
+  weights_.assign(n, 1.0);
+  if (config_.sampling.enabled) {
+    // Clamp the vote store to the full cache's capacity so a fault-plan
+    // cache squeeze bounds both stores, and allocate the SoA arena once.
+    const std::size_t vote_capacity =
+        std::min(config_.sampling.vote_capacity, config_.cache_capacity);
+    votes_ = std::make_unique<WeightedVoteCache>(
+        vote_capacity, config_.sampling.vote_quota, config_.k);
+    // Counters exist only in sampled mode: a full-verify core must leave
+    // the global metrics snapshot byte-identical to pre-§XII builds.
+    sampled_counter_ = &obs_->metrics.counter("compare.sampled");
+    fastpath_counter_ = &obs_->metrics.counter("compare.fastpath");
+  }
 }
 
 std::uint64_t CompareCore::key_of(const net::Packet& packet) const {
@@ -89,6 +106,14 @@ void CompareCore::trace(obs::TraceEvent event, const net::Packet& packet,
   // the cached value instead of rehashing the payload.
   tracer.emit(now.ns(), event, packet.content_hash(), trace_label_, replica,
               static_cast<std::uint32_t>(packet.size()));
+}
+
+void CompareCore::trace_id(obs::TraceEvent event, std::uint64_t packet_id,
+                           std::uint32_t bytes, sim::TimePoint now,
+                           int replica) {
+  obs::Tracer& tracer = obs_->tracer;
+  if (!tracer.enabled()) [[likely]] return;
+  tracer.emit(now.ns(), event, packet_id, trace_label_, replica, bytes);
 }
 
 void CompareCore::flag_block(int replica, sim::TimePoint now) {
@@ -152,6 +177,238 @@ void CompareCore::set_replica_live(int replica, bool live,
   const auto idx = static_cast<std::size_t>(replica);
   missed_streak_[idx] = 0;
   flagged_inactive_[idx] = false;
+}
+
+void CompareCore::set_replica_weight(int replica, double weight) noexcept {
+  if (replica < 0 || replica >= config_.k) return;
+  weights_[static_cast<std::size_t>(replica)] = std::clamp(weight, 0.0, 1.0);
+}
+
+double CompareCore::replica_weight(int replica) const noexcept {
+  if (replica < 0 || replica >= config_.k) return 0.0;
+  return weights_[static_cast<std::size_t>(replica)];
+}
+
+double CompareCore::live_weight_total() const noexcept {
+  double total = 0.0;
+  for (int r = 0; r < config_.k; ++r) {
+    if (((live_mask_ >> static_cast<unsigned>(r)) & 1ULL) != 0) {
+      total += weights_[static_cast<std::size_t>(r)];
+    }
+  }
+  return total;
+}
+
+bool CompareCore::sampled_key(std::uint64_t base,
+                              std::uint32_t period) noexcept {
+  if (period <= 1) return true;
+  return hash_mix(base, kSampleSalt) % period == 0;
+}
+
+std::uint32_t CompareCore::effective_period(sim::TimePoint now) const
+    noexcept {
+  const CompareSampling& s = config_.sampling;
+  if (!s.enabled || s.period <= 1) return 1;
+  if (now < sampling_resume_at_) return 1;  // post-restore conservatism
+  for (int r = 0; r < config_.k; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    // Any flagged replica — or any *live* replica below the healthy bar —
+    // collapses the period to 1: full verification until the health loop
+    // sorts the suspect out. Quarantined replicas are judged through
+    // their probe verdicts and do not hold the period down.
+    if (flagged_block_[idx] || flagged_inactive_[idx]) return 1;
+    if (((live_mask_ >> static_cast<unsigned>(r)) & 1ULL) != 0 &&
+        weights_[idx] < s.healthy_weight) {
+      return 1;
+    }
+  }
+  return s.period;
+}
+
+bool CompareCore::full_entry_exists(std::uint64_t base,
+                                    const net::Packet& packet) const {
+  // Read-only replay of ingest()'s probe walk, full depth across holes.
+  std::uint32_t chain_limit = 0;
+  if (const auto cit = chains_.find(base); cit != chains_.end()) {
+    chain_limit = cit->second.max_depth;
+  }
+  std::uint64_t probe = base;
+  for (std::uint32_t d = 0; d <= chain_limit; ++d) {
+    const auto hit = cache_.find(probe);
+    if (hit != cache_.end() && hit->second.base_key == base &&
+        same_packet(hit->second.exemplar, packet)) {
+      return true;
+    }
+    probe = hash_mix(probe, kProbeSalt);
+  }
+  return false;
+}
+
+void CompareCore::finalize_vote_death(std::uint64_t packet_id,
+                                      std::uint64_t mask, std::uint32_t bytes,
+                                      int first_replica, bool released,
+                                      bool escalated,
+                                      sim::TimePoint first_seen,
+                                      sim::TimePoint now,
+                                      obs::TraceEvent evict_event) {
+  if (escalated) return;  // routing memo: the full cache owns this packet
+  const int voters = std::popcount(mask);
+  if (released) {
+    if (std::popcount(mask & live_mask_) >= live_quorum()) {
+      // Quorum-vouched after the fact: the usual matched/missed and
+      // case-3 inactivity accounting applies. Silent in the trace stream,
+      // like the full path's completion retirement — the release record
+      // already told the story.
+      finalize_masks(mask, first_seen, now);
+    } else {
+      // Released on healthy-first-copy trust but never confirmed — the
+      // fast path's detection signal (kFirstCopy mismatch accounting).
+      // Blame-by-absence would be wrong here (a fabricated packet's
+      // honest non-confirmers are innocent); only a singleton is
+      // attributable, to its sender.
+      ++stats_.mismatch_detected;
+      if (voters == 1 && first_replica >= 0) {
+        note_garbage(first_replica, now);
+        verdict(VerdictKind::kDivergent, first_replica, now);
+      }
+      trace_id(obs::TraceEvent::kCompareExpire, packet_id, bytes, now, -1);
+    }
+    return;
+  }
+  switch (evict_event) {
+    case obs::TraceEvent::kCompareEvictCapacity:
+      ++stats_.evicted_capacity;
+      break;
+    case obs::TraceEvent::kCompareEvictQuota:
+      ++stats_.evicted_quota;
+      break;
+    default:
+      ++stats_.evicted_timeout;  // §IV case 1, fast-path flavour
+      break;
+  }
+  trace_id(evict_event, packet_id, bytes, now,
+           voters == 1 ? first_replica : -1);
+  if (voters == 1 && first_replica >= 0) {
+    note_garbage(first_replica, now);
+    verdict(VerdictKind::kDivergent, first_replica, now);
+  }
+}
+
+void CompareCore::drain_vote_evictions(sim::TimePoint now) {
+  for (const VoteEvicted& ev : evicted_scratch_) {
+    finalize_vote_death(ev.packet_id, ev.mask, ev.bytes, ev.first_replica,
+                        ev.released, ev.escalated,
+                        sim::TimePoint::from_ns(ev.first_seen_ns), now,
+                        ev.reason == VoteEvictReason::kQuota
+                            ? obs::TraceEvent::kCompareEvictQuota
+                            : obs::TraceEvent::kCompareEvictCapacity);
+  }
+  evicted_scratch_.clear();
+}
+
+FastResult CompareCore::ingest_sampled(int replica, const net::Packet& packet,
+                                       sim::TimePoint now) {
+  FastResult out;
+  if (votes_ == nullptr) {  // sampling disabled: everything escalates
+    out.escalated = true;
+    return out;
+  }
+  if (replica < 0 || replica >= config_.k) {
+    ++stats_.rejected_replica;
+    return out;
+  }
+
+  const std::uint64_t base = key_of(packet);
+  auto slot = votes_->find(base);
+  if (slot == WeightedVoteCache::kNil) {
+    // The first copy decides the route for every later copy (memoized in
+    // the slot): the deterministic election, overridden to "escalate"
+    // when the packet already lives in the full cache (restored entries,
+    // or copies that pre-date a period change) — splitting one packet's
+    // copies across both paths would starve its full-cache quorum.
+    const bool escalate = sampled_key(base, effective_period(now)) ||
+                          full_entry_exists(base, packet);
+    evicted_scratch_.clear();
+    slot = votes_->insert(base, packet.content_hash(), now.ns(),
+                          static_cast<std::uint32_t>(packet.size()), replica,
+                          escalate, evicted_scratch_);
+    drain_vote_evictions(now);
+    if (escalate) {
+      ++stats_.sampled_escalated;
+      if (sampled_counter_ != nullptr) sampled_counter_->inc();
+      trace(obs::TraceEvent::kCompareSampled, packet, now, replica);
+      out.escalated = true;
+      return out;
+    }
+  } else if (votes_->escalated(slot)) {
+    out.escalated = true;  // memoized election: this packet is full-path
+    return out;
+  }
+
+  // Fast-path vote. Metrics accounting matches the full path, but the
+  // trace stream is thinned to what the protocol checker needs: the
+  // release record itself carries its deciding replica, so in the common
+  // case (healthy first copy) one record narrates the whole packet.
+  // Pre-release votes that did NOT release are still traced (they justify
+  // a later weighted-majority release); post-release copies are counted,
+  // rate-monitored, and duplicate-checked — just not narrated one record
+  // at a time. This thinning is where the sampled mode's wall-clock win
+  // comes from; the 1-in-N elected packets keep the full per-copy story
+  // on the punt path.
+  const bool was_released = votes_->released(slot);
+  ++stats_.ingested;
+  ++stats_.fastpath_ingested;
+  ingested_counter_->inc();
+  note_arrival(replica, now);
+
+  const double weight = replica_live(replica)
+                            ? weights_[static_cast<std::size_t>(replica)]
+                            : 0.0;  // probation copies never vote
+  if (!votes_->add_vote(slot, replica, weight)) {
+    ++stats_.duplicates_same_port;  // §IV case 2, fast-path flavour
+    note_garbage(replica, now);
+    trace(obs::TraceEvent::kCompareDuplicate, packet, now, replica);
+    return out;
+  }
+  if (was_released) {
+    ++stats_.late_after_release;
+    if (std::popcount(votes_->mask(slot)) == config_.k &&
+        !config_.retain_completed) {
+      finalize_masks(votes_->mask(slot),
+                     sim::TimePoint::from_ns(votes_->first_seen_ns(slot)),
+                     now);
+      votes_->erase(slot);
+    }
+    return out;
+  }
+
+  // Release rule: the first copy from a fully-healthy live replica goes
+  // straight through (the common case, and the latency win); otherwise
+  // the weighted tally must clear half the live weight — a
+  // reputation-scaled majority that hardens as replicas lose standing.
+  const bool release_now =
+      replica_live(replica) &&
+      (weight >= config_.sampling.healthy_weight ||
+       votes_->tally(slot) > live_weight_total() / 2.0);
+  if (!release_now) {
+    trace(obs::TraceEvent::kCompareIngest, packet, now, replica);
+    return out;
+  }
+  votes_->set_released(slot);
+  if (shadow_) [[unlikely]] {
+    ++stats_.shadow_releases;
+    trace(obs::TraceEvent::kCompareSuppressed, packet, now, replica);
+    return out;
+  }
+  ++stats_.released;
+  ++stats_.fastpath_released;
+  released_counter_->inc();
+  if (fastpath_counter_ != nullptr) fastpath_counter_->inc();
+  verdict_latency_->observe(
+      (now - sim::TimePoint::from_ns(votes_->first_seen_ns(slot))).us());
+  trace(obs::TraceEvent::kCompareFastpath, packet, now, replica);
+  out.released = packet;
+  return out;
 }
 
 std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
@@ -356,10 +613,16 @@ void CompareCore::finalize(Entry& entry, sim::TimePoint now) {
   // a replica missing from an agreed packet is suspect; replicas absent
   // from a fabricated minority packet are not.
   if (!entry.released) return;
+  finalize_masks(entry.replica_mask, entry.first_seen, now);
+}
+
+void CompareCore::finalize_masks(std::uint64_t replica_mask,
+                                 sim::TimePoint first_seen,
+                                 sim::TimePoint now) {
   for (int r = 0; r < config_.k; ++r) {
     const auto idx = static_cast<std::size_t>(r);
     const std::uint64_t bit = 1ULL << static_cast<unsigned>(r);
-    const bool present = (entry.replica_mask & bit) != 0;
+    const bool present = (replica_mask & bit) != 0;
     if ((live_mask_ & bit) == 0) {
       // Probation: a probe copy that agreed with the released packet is
       // evidence for readmission; absence proves nothing (the trickle is
@@ -378,7 +641,7 @@ void CompareCore::finalize(Entry& entry, sim::TimePoint now) {
     } else {
       // No blame for entries older than the replica's (re)admission: the
       // fan-out did not include it when those copies were multiplied.
-      if (entry.first_seen < live_since_[idx]) continue;
+      if (first_seen < live_since_[idx]) continue;
       verdict(VerdictKind::kMissed, r, now);
       if (++missed_streak_[idx] == config_.inactivity_threshold &&
           !flagged_inactive_[idx]) {
@@ -450,6 +713,20 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
     }
     erase_entry(key);
     ++evicted;
+  }
+  if (votes_ != nullptr) {
+    // Same horizon as the full cache: first_seen <= now - hold_timeout
+    // dies (the vote sweep's strict `<` plus the +1 matches the full
+    // path's `now - first_seen >= hold_timeout` exactly).
+    const std::int64_t horizon = now.ns() - config_.hold_timeout.ns() + 1;
+    votes_->sweep(horizon, [&](WeightedVoteCache::Slot s) {
+      finalize_vote_death(votes_->packet_id(s), votes_->mask(s),
+                          votes_->bytes(s), votes_->first_replica(s),
+                          votes_->released(s), votes_->escalated(s),
+                          sim::TimePoint::from_ns(votes_->first_seen_ns(s)),
+                          now, obs::TraceEvent::kCompareEvictTimeout);
+      ++evicted;
+    });
   }
   return evicted;
 }
@@ -533,12 +810,25 @@ CompareAudit CompareCore::audit() const {
     prev_ns = cit->second.first_seen.ns();
   }
   if (out.cache_entries != out.age_entries) out.age_cache_consistent = false;
+  if (votes_ != nullptr) {
+    out.vote_active = true;
+    out.vote = votes_->audit();
+  }
   return out;
 }
 
 void CompareCore::set_cache_capacity(std::size_t capacity, sim::TimePoint now) {
   config_.cache_capacity = capacity;
   if (cache_.size() > config_.cache_capacity) capacity_cleanup(now);
+  if (votes_ != nullptr) {
+    // The squeeze binds both stores: the vote cache shrinks to the lesser
+    // of its own configured bound and the new full-cache capacity, and
+    // every expelled slot is accounted for (no stranded entries).
+    evicted_scratch_.clear();
+    votes_->set_capacity(std::min(config_.sampling.vote_capacity, capacity),
+                         evicted_scratch_);
+    drain_vote_evictions(now);
+  }
 }
 
 CompareSnapshot CompareCore::snapshot(sim::TimePoint now) const {
@@ -578,7 +868,7 @@ CompareSnapshot CompareCore::snapshot(sim::TimePoint now) const {
   return snap;
 }
 
-void CompareCore::restore(const CompareSnapshot& snap, sim::TimePoint) {
+void CompareCore::restore(const CompareSnapshot& snap, sim::TimePoint now) {
   cache_.clear();
   chains_.clear();
   age_.clear();
@@ -643,6 +933,17 @@ void CompareCore::restore(const CompareSnapshot& snap, sim::TimePoint) {
   stats_.cache_entries = cache_.size();
   stats_.max_cache_entries =
       std::max(stats_.max_cache_entries, stats_.cache_entries);
+
+  if (votes_ != nullptr) {
+    // Fast-path state is NOT checkpointed (it is a routing memo plus
+    // unconfirmed tallies — conservatively droppable). After a restore
+    // the core fully verifies for one hold window: restored entries force
+    // their copies to escalate anyway (full_entry_exists), and pinning
+    // the period keeps fresh pre-crash in-flight copies off a vote cache
+    // that no longer remembers their releases.
+    votes_->clear();
+    sampling_resume_at_ = now + config_.hold_timeout;
+  }
 }
 
 }  // namespace netco::core

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,7 @@
 
 #include "net/packet.h"
 #include "netco/verdict.h"
+#include "netco/vote_cache.h"
 #include "obs/observability.h"
 #include "sim/time.h"
 
@@ -55,6 +57,32 @@ enum class ReleasePolicy : std::uint8_t {
   kMajority,   ///< prevention: strict majority of k (k ≥ 3)
   kFirstCopy,  ///< detection only: release the first copy immediately and
                ///< alarm on disagreement/timeout (k = 2 suffices)
+};
+
+/// Sampled-verification mode (§XII): only 1-in-period packets take the
+/// full k-way compare; the rest ride a fast path that releases on the
+/// first copy from a healthy-weighted replica (or once the weighted tally
+/// crosses half the live weight). The period is adaptive: it collapses to
+/// 1 — full verification for every packet — the moment any live replica's
+/// health weight degrades below healthy_weight, a replica is flagged, or
+/// the core was just restored from a checkpoint. Strictly opt-in: with
+/// enabled == false the core is bit-identical to one built before the
+/// subsystem existed.
+struct CompareSampling {
+  bool enabled = false;
+  /// 1-in-period packets are escalated to the full compare while every
+  /// live replica is healthy. 1 = sample everything (full verify).
+  std::uint32_t period = 16;
+  /// A replica with weight >= this is "healthy": its first copy releases
+  /// on the fast path, and the adaptive period stays wide only while all
+  /// live replicas clear this bar.
+  double healthy_weight = 0.75;
+  /// Weighted-vote cache capacity (clamped to cache_capacity so a cache
+  /// squeeze bounds both stores).
+  std::size_t vote_capacity = 4096;
+  /// Per-replica singleton quota in the vote cache (same isolation as the
+  /// full cache's per_replica_quota).
+  std::size_t vote_quota = 1024;
 };
 
 /// Compare element configuration.
@@ -100,6 +128,8 @@ struct CompareConfig {
   /// the perturbed-key collision chains to engage (tests use this to forge
   /// deterministic collisions).
   std::uint64_t key_mask = ~0ULL;
+  /// Sampled-verification fast path (disabled by default).
+  CompareSampling sampling{};
 
   /// Strict majority for the configured k.
   [[nodiscard]] int quorum() const noexcept { return k / 2 + 1; }
@@ -122,6 +152,10 @@ struct CompareStats {
   /// Quorums reached on checkpoint-restored entries: the release was
   /// withheld because the entry may already have been released pre-crash.
   std::uint64_t suppressed_recovered = 0;
+  /// Sampled-verification mode (zero while sampling is disabled).
+  std::uint64_t fastpath_ingested = 0;  ///< copies that took the fast path
+  std::uint64_t fastpath_released = 0;  ///< fast-path releases (⊂ released)
+  std::uint64_t sampled_escalated = 0;  ///< packets elected for full verify
   std::size_t cache_entries = 0;          ///< current occupancy
   std::size_t max_cache_entries = 0;
 };
@@ -176,6 +210,18 @@ struct CompareAudit {
   std::vector<std::uint64_t> quota_counts;
   /// ...versus a fresh recount of live single-contribution entries.
   std::vector<std::uint64_t> live_singletons;
+  /// Weighted-vote-cache bookkeeping (meaningful when vote_active).
+  bool vote_active = false;
+  VoteCacheAudit vote;
+};
+
+/// Outcome of one fast-path ingest (see CompareCore::ingest_sampled).
+struct FastResult {
+  /// The packet is elected for the full k-way compare: the caller must
+  /// route this copy through the normal packet-in path (ingest()).
+  bool escalated = false;
+  /// Fast-path egress: at most one copy per packet, ever.
+  std::optional<net::Packet> released;
 };
 
 /// Events the deployment layer should act on.
@@ -198,6 +244,40 @@ class CompareCore {
   /// instead of corrupting the vote bitmask.
   std::optional<net::Packet> ingest(int replica, net::Packet packet,
                                     sim::TimePoint now);
+
+  // --- sampled-verification fast path (§XII) ----------------------------
+
+  /// Fast-path ingest: consults the weighted vote cache instead of the
+  /// full compare. Three outcomes: the copy is *escalated* (its packet is
+  /// elected for full verification, or already lives in the full cache —
+  /// the caller punts it through the normal ingest() path), it *votes*
+  /// (its replica's health weight joins the packet's tally; the first
+  /// copy from a healthy live replica — or the copy that pushes the tally
+  /// past half the live weight — releases), or it is late/duplicate noise
+  /// (counted and traced exactly like the full path). The decision is
+  /// memoized per packet key, so every copy of one packet takes the same
+  /// route even if the adaptive period moves mid-flight.
+  FastResult ingest_sampled(int replica, const net::Packet& packet,
+                            sim::TimePoint now);
+
+  /// Health-weight import: weight 1 = pristine, 0 = dead. Pushed by the
+  /// health service after every verdict batch (1 - EWMA score). Without a
+  /// health loop all weights stay 1.0 and the fast path releases on any
+  /// first live copy.
+  void set_replica_weight(int replica, double weight) noexcept;
+  [[nodiscard]] double replica_weight(int replica) const noexcept;
+
+  /// The sampling period currently in force: config().sampling.period
+  /// while every live replica is healthy and unflagged, 1 (full
+  /// verification) the moment anything degrades — or right after a
+  /// checkpoint restore, until one hold_timeout of live traffic passes.
+  [[nodiscard]] std::uint32_t effective_period(sim::TimePoint now) const
+      noexcept;
+
+  /// The weighted vote cache (nullptr while sampling is disabled).
+  [[nodiscard]] const WeightedVoteCache* vote_cache() const noexcept {
+    return votes_.get();
+  }
 
   /// Evicts entries whose hold time expired. Call periodically (the
   /// deployment wrappers do). Returns the number of entries evicted.
@@ -335,8 +415,34 @@ class CompareCore {
   [[nodiscard]] std::uint64_t key_of(const net::Packet& packet) const;
   [[nodiscard]] bool same_packet(const net::Packet& a,
                                  const net::Packet& b) const;
+  /// True when `packet` already has an entry in the *full* cache (probe
+  /// walk, read-only). Copies of such packets must escalate so the full
+  /// entry's quorum is not starved.
+  [[nodiscard]] bool full_entry_exists(std::uint64_t base,
+                                       const net::Packet& packet) const;
+  /// Deterministic election: does this key take the full compare?
+  [[nodiscard]] static bool sampled_key(std::uint64_t base,
+                                        std::uint32_t period) noexcept;
+  /// Sum of live replicas' weights (the fast-path quorum denominator).
+  [[nodiscard]] double live_weight_total() const noexcept;
+  /// Verdict/trace/stat bookkeeping for a dying vote-cache slot; the
+  /// evict_event selects the never-released counter (timeout, capacity or
+  /// quota — mirroring the full cache's three eviction paths).
+  void finalize_vote_death(std::uint64_t packet_id, std::uint64_t mask,
+                           std::uint32_t bytes, int first_replica,
+                           bool released, bool escalated,
+                           sim::TimePoint first_seen, sim::TimePoint now,
+                           obs::TraceEvent evict_event);
+  /// Converts the scratch list of cache-internal evictions (capacity
+  /// squeezes, quota overflow) into stats/traces/verdicts.
+  void drain_vote_evictions(sim::TimePoint now);
   /// Inactivity + verdict bookkeeping on entry death.
   void finalize(Entry& entry, sim::TimePoint now);
+  /// The replica-mask half of finalize(), shared with the vote cache:
+  /// matched/missed verdicts plus the case-3 inactivity streak for a
+  /// quorum-vouched packet that died with this vote mask.
+  void finalize_masks(std::uint64_t replica_mask, sim::TimePoint first_seen,
+                      sim::TimePoint now);
   void erase_entry(std::uint64_t key);
   void capacity_cleanup(sim::TimePoint now);
   void quota_evict(int replica, sim::TimePoint now);
@@ -350,6 +456,9 @@ class CompareCore {
   /// Emits one lifecycle record (no-op when tracing is disabled).
   void trace(obs::TraceEvent event, const net::Packet& packet,
              sim::TimePoint now, int replica);
+  /// Same, for vote-cache slots (which keep the id, not the packet).
+  void trace_id(obs::TraceEvent event, std::uint64_t packet_id,
+                std::uint32_t bytes, sim::TimePoint now, int replica);
 
   CompareConfig config_;
   CompareStats stats_;
@@ -369,6 +478,18 @@ class CompareCore {
   obs::Histogram* verdict_latency_;   ///< "compare.verdict_latency_us"
   obs::Counter* released_counter_;    ///< "compare.released"
   obs::Counter* ingested_counter_;    ///< "compare.ingested"
+  /// Created only when sampling is enabled, so a full-verify core leaves
+  /// the global metrics snapshot byte-identical to the pre-§XII builds.
+  obs::Counter* sampled_counter_ = nullptr;   ///< "compare.sampled"
+  obs::Counter* fastpath_counter_ = nullptr;  ///< "compare.fastpath"
+
+  // Sampled-verification state (all dormant while sampling is disabled).
+  std::unique_ptr<WeightedVoteCache> votes_;
+  std::vector<double> weights_;  ///< health weights, 1.0 = pristine
+  /// Until this instant the effective period is pinned to 1: a restored
+  /// core must fully verify until pre-crash in-flight traffic drains.
+  sim::TimePoint sampling_resume_at_ = sim::TimePoint::origin();
+  std::vector<VoteEvicted> evicted_scratch_;
 
   // key → entry. Collisions across *different* packets with equal keys are
   // resolved by same_packet() refusing to merge; the colliding packet is

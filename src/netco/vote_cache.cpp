@@ -1,0 +1,277 @@
+#include "netco/vote_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace netco::core {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+WeightedVoteCache::WeightedVoteCache(std::size_t capacity,
+                                     std::size_t per_replica_quota, int k)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      per_replica_quota_(per_replica_quota) {
+  const std::size_t arena = capacity_;
+  key_.resize(arena);
+  packet_id_.resize(arena);
+  tally_.resize(arena);
+  mask_.resize(arena);
+  first_seen_ns_.resize(arena);
+  bytes_.resize(arena);
+  first_replica_.resize(arena, -1);
+  flags_.resize(arena, 0);
+  next_.resize(arena, kNil);
+  age_prev_.resize(arena, kNil);
+  age_next_.resize(arena, kNil);
+  // Two buckets per slot keeps the expected chain length below one.
+  buckets_.assign(next_pow2(arena * 2), kNil);
+  bucket_mask_ = buckets_.size() - 1;
+  freelist_.reserve(arena);
+  for (std::size_t i = arena; i-- > 0;) {
+    freelist_.push_back(static_cast<Slot>(i));
+  }
+  quota_counts_.assign(static_cast<std::size_t>(std::max(k, 1)), 0);
+}
+
+WeightedVoteCache::Slot WeightedVoteCache::find(
+    std::uint64_t key) const noexcept {
+  Slot slot = buckets_[bucket_of(key)];
+  while (slot != kNil) {
+    const Slot ahead = next_[slot];
+    if (ahead != kNil) __builtin_prefetch(&key_[ahead]);
+    if (key_[slot] == key) return slot;
+    slot = ahead;
+  }
+  return kNil;
+}
+
+WeightedVoteCache::Slot WeightedVoteCache::alloc_slot() {
+  const Slot slot = freelist_.back();
+  freelist_.pop_back();
+  return slot;
+}
+
+void WeightedVoteCache::unlink_bucket(Slot slot) noexcept {
+  const std::size_t bucket = bucket_of(key_[slot]);
+  Slot cur = buckets_[bucket];
+  if (cur == slot) {
+    buckets_[bucket] = next_[slot];
+    return;
+  }
+  while (cur != kNil) {
+    if (next_[cur] == slot) {
+      next_[cur] = next_[slot];
+      return;
+    }
+    cur = next_[cur];
+  }
+  assert(false && "slot missing from its bucket chain");
+}
+
+void WeightedVoteCache::unlink_age(Slot slot) noexcept {
+  const Slot prev = age_prev_[slot];
+  const Slot next = age_next_[slot];
+  if (prev != kNil) age_next_[prev] = next; else age_head_ = next;
+  if (next != kNil) age_prev_[next] = prev; else age_tail_ = prev;
+  age_prev_[slot] = kNil;
+  age_next_[slot] = kNil;
+}
+
+void WeightedVoteCache::release_quota(Slot slot) noexcept {
+  if ((flags_[slot] & kQuotaSlot) == 0) return;
+  flags_[slot] = static_cast<std::uint8_t>(flags_[slot] & ~kQuotaSlot);
+  const int replica = first_replica_[slot];
+  if (replica >= 0 &&
+      static_cast<std::size_t>(replica) < quota_counts_.size()) {
+    assert(quota_counts_[static_cast<std::size_t>(replica)] > 0);
+    --quota_counts_[static_cast<std::size_t>(replica)];
+  }
+}
+
+WeightedVoteCache::Slot WeightedVoteCache::capacity_victim() const noexcept {
+  // Oldest-first walk: ties on tally keep the first (oldest) candidate,
+  // so eviction preserves the top-k tallies and, within a tally band,
+  // recency.
+  Slot best = kNil;
+  double best_tally = 0.0;
+  for (Slot s = age_head_; s != kNil; s = age_next_[s]) {
+    if (best == kNil || tally_[s] < best_tally) {
+      best = s;
+      best_tally = tally_[s];
+    }
+  }
+  return best;
+}
+
+WeightedVoteCache::Slot WeightedVoteCache::quota_victim(
+    int replica) const noexcept {
+  for (Slot s = age_head_; s != kNil; s = age_next_[s]) {
+    if ((flags_[s] & kQuotaSlot) != 0 && first_replica_[s] == replica) {
+      return s;
+    }
+  }
+  return kNil;
+}
+
+VoteEvicted WeightedVoteCache::expel(Slot slot,
+                                     VoteEvictReason reason) noexcept {
+  VoteEvicted out;
+  out.key = key_[slot];
+  out.packet_id = packet_id_[slot];
+  out.mask = mask_[slot];
+  out.bytes = bytes_[slot];
+  out.first_replica = first_replica_[slot];
+  out.released = (flags_[slot] & kReleased) != 0;
+  out.escalated = (flags_[slot] & kEscalated) != 0;
+  out.first_seen_ns = first_seen_ns_[slot];
+  out.reason = reason;
+  if (reason == VoteEvictReason::kCapacity) ++evicted_capacity_;
+  else ++evicted_quota_;
+  erase(slot);
+  return out;
+}
+
+WeightedVoteCache::Slot WeightedVoteCache::insert(
+    std::uint64_t key, std::uint64_t packet_id, std::int64_t now_ns,
+    std::uint32_t bytes, int first_replica, bool escalated,
+    std::vector<VoteEvicted>& evicted) {
+  if (first_replica >= 0 &&
+      static_cast<std::size_t>(first_replica) < quota_counts_.size() &&
+      per_replica_quota_ > 0 &&
+      quota_counts_[static_cast<std::size_t>(first_replica)] >=
+          per_replica_quota_) {
+    const Slot victim = quota_victim(first_replica);
+    if (victim != kNil) evicted.push_back(expel(victim, VoteEvictReason::kQuota));
+  }
+  while (size_ >= capacity_) {
+    const Slot victim = capacity_victim();
+    if (victim == kNil) break;
+    evicted.push_back(expel(victim, VoteEvictReason::kCapacity));
+  }
+
+  const Slot slot = alloc_slot();
+  key_[slot] = key;
+  packet_id_[slot] = packet_id;
+  tally_[slot] = 0.0;
+  mask_[slot] = 0;
+  first_seen_ns_[slot] = now_ns;
+  bytes_[slot] = bytes;
+  first_replica_[slot] = static_cast<std::int16_t>(first_replica);
+  flags_[slot] = kInUse;
+  if (escalated) flags_[slot] |= kEscalated;
+  if (first_replica >= 0 &&
+      static_cast<std::size_t>(first_replica) < quota_counts_.size()) {
+    flags_[slot] |= kQuotaSlot;
+    ++quota_counts_[static_cast<std::size_t>(first_replica)];
+  }
+
+  const std::size_t bucket = bucket_of(key);
+  next_[slot] = buckets_[bucket];
+  buckets_[bucket] = slot;
+
+  age_prev_[slot] = age_tail_;
+  age_next_[slot] = kNil;
+  if (age_tail_ != kNil) age_next_[age_tail_] = slot; else age_head_ = slot;
+  age_tail_ = slot;
+
+  ++size_;
+  return slot;
+}
+
+bool WeightedVoteCache::add_vote(Slot slot, int replica,
+                                 double weight) noexcept {
+  const std::uint64_t bit = 1ULL << replica;
+  if ((mask_[slot] & bit) != 0) return false;
+  mask_[slot] |= bit;
+  tally_[slot] += weight;
+  if (std::popcount(mask_[slot]) == 2) release_quota(slot);
+  return true;
+}
+
+void WeightedVoteCache::set_released(Slot slot) noexcept {
+  flags_[slot] |= kReleased;
+  release_quota(slot);
+}
+
+void WeightedVoteCache::erase(Slot slot) noexcept {
+  release_quota(slot);
+  unlink_bucket(slot);
+  unlink_age(slot);
+  flags_[slot] = 0;
+  next_[slot] = kNil;
+  freelist_.push_back(slot);
+  --size_;
+}
+
+void WeightedVoteCache::set_capacity(std::size_t capacity,
+                                     std::vector<VoteEvicted>& evicted) {
+  // The arena is sized once at construction; the logical capacity moves
+  // inside it (squeeze faults shrink, restore grows back).
+  capacity_ = std::clamp<std::size_t>(capacity, 1, key_.size());
+  while (size_ > capacity_) {
+    const Slot victim = capacity_victim();
+    if (victim == kNil) break;
+    evicted.push_back(expel(victim, VoteEvictReason::kCapacity));
+  }
+}
+
+VoteCacheAudit WeightedVoteCache::audit() const {
+  VoteCacheAudit out;
+  out.entries = size_;
+  out.capacity = capacity_;
+  out.arena = key_.size();
+  out.free_slots = freelist_.size();
+  out.quota_counts = quota_counts_;
+  out.live_quota_held.assign(quota_counts_.size(), 0);
+
+  std::int64_t prev_seen = 0;
+  bool first = true;
+  for (Slot s = age_head_; s != kNil; s = age_next_[s]) {
+    ++out.age_entries;
+    if (!first && first_seen_ns_[s] < prev_seen) out.age_ordered = false;
+    prev_seen = first_seen_ns_[s];
+    first = false;
+    if (out.age_entries > out.arena) break;  // cycle guard
+  }
+  for (const Slot head : buckets_) {
+    std::size_t guard = 0;
+    for (Slot s = head; s != kNil; s = next_[s]) {
+      ++out.chain_entries;
+      if ((flags_[s] & kQuotaSlot) != 0 && first_replica_[s] >= 0 &&
+          static_cast<std::size_t>(first_replica_[s]) <
+              out.live_quota_held.size()) {
+        ++out.live_quota_held[static_cast<std::size_t>(first_replica_[s])];
+      }
+      if (++guard > out.arena) break;  // cycle guard
+    }
+  }
+  out.consistent = out.entries == out.age_entries &&
+                   out.entries == out.chain_entries &&
+                   out.entries + out.free_slots == out.arena;
+  return out;
+}
+
+void WeightedVoteCache::clear() noexcept {
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+  std::fill(next_.begin(), next_.end(), kNil);
+  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  std::fill(quota_counts_.begin(), quota_counts_.end(), 0);
+  age_head_ = kNil;
+  age_tail_ = kNil;
+  size_ = 0;
+  freelist_.clear();
+  for (std::size_t i = key_.size(); i-- > 0;) {
+    freelist_.push_back(static_cast<Slot>(i));
+  }
+}
+
+}  // namespace netco::core

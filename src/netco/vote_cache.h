@@ -1,0 +1,198 @@
+// Reputation-weighted vote cache for the compare fast path (§XII).
+//
+// Replaces strict head-count majority with weighted tallies: each replica
+// copy of a packet adds that replica's health weight to the packet's
+// tally, and the fast path releases once the tally crosses half the live
+// weight (or immediately on a copy from a fully-healthy replica). Entries
+// are arena-allocated structure-of-arrays slots — the hash chain walk
+// touches only the key column and prefetches the next link — so the
+// per-packet cost is O(1) inserts plus an intrusive age list for
+// oldest-first sweeps. Eviction keeps the top-k tallies: when the arena
+// is full the lowest-tally (tie: oldest) entry goes first.
+//
+// The per-replica singleton quota from CompareCore carries over: an entry
+// holds one quota slot of its first replica while it has at most one
+// distinct voter and has not released; the slot returns on the second
+// distinct vote, on release, or on erase — never leaks (the PR 2 bug
+// class), which audit() proves by recount.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace netco::core {
+
+/// Why an entry was pushed out of the vote cache.
+enum class VoteEvictReason : std::uint8_t {
+  kCapacity,  ///< arena full: lowest tally (tie: oldest) evicted
+  kQuota,     ///< first replica exceeded its singleton quota
+};
+
+/// A slot's state at the moment the cache expelled it, so the caller can
+/// emit verdicts/traces for the dead entry.
+struct VoteEvicted {
+  std::uint64_t key = 0;
+  std::uint64_t packet_id = 0;
+  std::uint64_t mask = 0;  ///< distinct replicas that voted
+  std::uint32_t bytes = 0;
+  std::int16_t first_replica = -1;
+  bool released = false;
+  bool escalated = false;
+  std::int64_t first_seen_ns = 0;
+  VoteEvictReason reason = VoteEvictReason::kCapacity;
+};
+
+/// Recount-style audit snapshot (mirrors core::CompareAudit): counters on
+/// the left, ground truth recounted from the arena on the right.
+struct VoteCacheAudit {
+  std::size_t entries = 0;        ///< size() counter
+  std::size_t capacity = 0;       ///< logical capacity
+  std::size_t arena = 0;          ///< allocated slots (>= capacity)
+  std::size_t free_slots = 0;     ///< freelist length
+  std::size_t age_entries = 0;    ///< recount: age-list length
+  std::size_t chain_entries = 0;  ///< recount: sum of bucket-chain lengths
+  /// entries == age_entries == chain_entries && entries + free == arena.
+  bool consistent = true;
+  /// Age list is oldest-first by first_seen_ns.
+  bool age_ordered = true;
+  /// Per-replica singleton-quota counters (left) vs live recount (right).
+  std::vector<std::size_t> quota_counts;
+  std::vector<std::size_t> live_quota_held;
+};
+
+class WeightedVoteCache {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNil = 0xFFFFFFFFu;
+
+  WeightedVoteCache(std::size_t capacity, std::size_t per_replica_quota,
+                    int k);
+
+  /// Slot holding `key`, or kNil. O(chain) — chains stay short because the
+  /// bucket count is sized to the arena.
+  [[nodiscard]] Slot find(std::uint64_t key) const noexcept;
+
+  /// Allocates a slot for `key` (must not already be present). May first
+  /// evict — capacity victim or the first replica's oldest singleton —
+  /// appending each casualty to `evicted`. Returns the new slot.
+  Slot insert(std::uint64_t key, std::uint64_t packet_id, std::int64_t now_ns,
+              std::uint32_t bytes, int first_replica, bool escalated,
+              std::vector<VoteEvicted>& evicted);
+
+  /// Adds `weight` from `replica` to the slot's tally. Returns false (and
+  /// changes nothing) if that replica already voted — the duplicate-vote
+  /// signal. The second *distinct* voter returns the singleton quota slot.
+  bool add_vote(Slot slot, int replica, double weight) noexcept;
+
+  /// Marks the slot released (returns its quota slot if still held).
+  void set_released(Slot slot) noexcept;
+
+  // --- per-slot accessors (slot must be live) -----------------------------
+  [[nodiscard]] std::uint64_t key_of(Slot s) const noexcept { return key_[s]; }
+  [[nodiscard]] std::uint64_t packet_id(Slot s) const noexcept {
+    return packet_id_[s];
+  }
+  [[nodiscard]] double tally(Slot s) const noexcept { return tally_[s]; }
+  [[nodiscard]] std::uint64_t mask(Slot s) const noexcept { return mask_[s]; }
+  [[nodiscard]] std::uint32_t bytes(Slot s) const noexcept {
+    return bytes_[s];
+  }
+  [[nodiscard]] int first_replica(Slot s) const noexcept {
+    return first_replica_[s];
+  }
+  [[nodiscard]] std::int64_t first_seen_ns(Slot s) const noexcept {
+    return first_seen_ns_[s];
+  }
+  [[nodiscard]] bool released(Slot s) const noexcept {
+    return (flags_[s] & kReleased) != 0;
+  }
+  [[nodiscard]] bool escalated(Slot s) const noexcept {
+    return (flags_[s] & kEscalated) != 0;
+  }
+
+  /// Removes the slot (returns its quota slot if still held).
+  void erase(Slot slot) noexcept;
+
+  /// Oldest-first sweep: every entry with first_seen_ns < horizon_ns is
+  /// handed to `on_dead(slot)` (read its state there) and then erased.
+  template <typename OnDead>
+  void sweep(std::int64_t horizon_ns, OnDead&& on_dead) {
+    while (age_head_ != kNil && first_seen_ns_[age_head_] < horizon_ns) {
+      const Slot victim = age_head_;
+      on_dead(victim);
+      erase(victim);
+    }
+  }
+
+  /// Shrinks (or grows) the logical capacity, evicting — lowest tally
+  /// first — until size() fits. Fault-injected cache squeezes land here.
+  void set_capacity(std::size_t capacity, std::vector<VoteEvicted>& evicted);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t evicted_capacity() const noexcept {
+    return evicted_capacity_;
+  }
+  [[nodiscard]] std::uint64_t evicted_quota() const noexcept {
+    return evicted_quota_;
+  }
+
+  /// Full-recount audit (see VoteCacheAudit).
+  [[nodiscard]] VoteCacheAudit audit() const;
+
+  /// Drops every entry (no eviction records; checkpoint-restore path).
+  void clear() noexcept;
+
+ private:
+  static constexpr std::uint8_t kInUse = 1u << 0;
+  static constexpr std::uint8_t kReleased = 1u << 1;
+  static constexpr std::uint8_t kEscalated = 1u << 2;
+  static constexpr std::uint8_t kQuotaSlot = 1u << 3;
+
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(hash_mix(key, kBucketSalt)) & bucket_mask_;
+  }
+
+  Slot alloc_slot();
+  void unlink_bucket(Slot slot) noexcept;
+  void unlink_age(Slot slot) noexcept;
+  void release_quota(Slot slot) noexcept;
+  [[nodiscard]] Slot capacity_victim() const noexcept;
+  [[nodiscard]] Slot quota_victim(int replica) const noexcept;
+  [[nodiscard]] VoteEvicted expel(Slot slot, VoteEvictReason reason) noexcept;
+
+  /// Distinct salt from the compare cache's probe salt: the two caches
+  /// must not correlate their collision patterns.
+  static constexpr std::uint64_t kBucketSalt = 0x7EC0CACE5ULL;
+
+  std::size_t capacity_ = 0;
+  std::size_t per_replica_quota_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t evicted_capacity_ = 0;
+  std::uint64_t evicted_quota_ = 0;
+
+  // SoA arena columns, indexed by Slot.
+  std::vector<std::uint64_t> key_;
+  std::vector<std::uint64_t> packet_id_;
+  std::vector<double> tally_;
+  std::vector<std::uint64_t> mask_;
+  std::vector<std::int64_t> first_seen_ns_;
+  std::vector<std::uint32_t> bytes_;
+  std::vector<std::int16_t> first_replica_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<Slot> next_;      ///< bucket chain
+  std::vector<Slot> age_prev_;  ///< intrusive age list (oldest at head)
+  std::vector<Slot> age_next_;
+
+  std::vector<Slot> buckets_;
+  std::size_t bucket_mask_ = 0;
+  std::vector<Slot> freelist_;
+  Slot age_head_ = kNil;
+  Slot age_tail_ = kNil;
+  std::vector<std::size_t> quota_counts_;
+};
+
+}  // namespace netco::core

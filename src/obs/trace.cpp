@@ -37,6 +37,8 @@ const char* to_string(TraceEvent event) noexcept {
       return "resilience.degraded_exit";
     case TraceEvent::kResilienceHubCrash: return "resilience.hub_crash";
     case TraceEvent::kResilienceHubRestart: return "resilience.hub_restart";
+    case TraceEvent::kCompareSampled: return "compare.sampled";
+    case TraceEvent::kCompareFastpath: return "compare.fastpath";
   }
   return "unknown";
 }

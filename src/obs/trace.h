@@ -58,6 +58,9 @@ enum class TraceEvent : std::uint8_t {
   kResilienceDegradedExit,  ///< compare back; degraded policy disengaged
   kResilienceHubCrash,      ///< hub fan-out rules lost (edge index in replica)
   kResilienceHubRestart,    ///< hub rules re-installed, counters continue
+  kCompareSampled,          ///< packet elected for the full k-way compare
+                            ///< (sampled-verification mode, §XII)
+  kCompareFastpath,         ///< fast-path release on a healthy-weighted vote
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

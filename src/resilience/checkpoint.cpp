@@ -73,7 +73,7 @@ std::string serialize_snapshot(const core::CompareSnapshot& snap) {
   n = std::snprintf(
       buf, sizeof buf,
       "stats %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu "
-      "%zu %zu\n",
+      "%zu %zu %llu %llu %llu\n",
       static_cast<unsigned long long>(s.ingested),
       static_cast<unsigned long long>(s.released),
       static_cast<unsigned long long>(s.late_after_release),
@@ -86,7 +86,10 @@ std::string serialize_snapshot(const core::CompareSnapshot& snap) {
       static_cast<unsigned long long>(s.rejected_replica),
       static_cast<unsigned long long>(s.shadow_releases),
       static_cast<unsigned long long>(s.suppressed_recovered),
-      s.cache_entries, s.max_cache_entries);
+      s.cache_entries, s.max_cache_entries,
+      static_cast<unsigned long long>(s.fastpath_ingested),
+      static_cast<unsigned long long>(s.fastpath_released),
+      static_cast<unsigned long long>(s.sampled_escalated));
   out.append(buf, static_cast<std::size_t>(n));
 
   n = std::snprintf(buf, sizeof buf, "live %016llx %d\n",
@@ -160,11 +163,17 @@ std::optional<core::CompareSnapshot> parse_snapshot(const std::string& text) {
   {
     unsigned long long v[12];
     std::size_t ce = 0, mce = 0;
-    if (std::sscanf(line.c_str(),
+    // The three fast-path counters were appended in §XII; a v1 checkpoint
+    // written before then carries 14 fields and restores them as zero.
+    unsigned long long fp_in = 0, fp_rel = 0, fp_esc = 0;
+    const int matched =
+        std::sscanf(line.c_str(),
                     "stats %llu %llu %llu %llu %llu %llu %llu %llu %llu "
-                    "%llu %llu %llu %zu %zu",
+                    "%llu %llu %llu %zu %zu %llu %llu %llu",
                     &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7],
-                    &v[8], &v[9], &v[10], &v[11], &ce, &mce) != 14) {
+                    &v[8], &v[9], &v[10], &v[11], &ce, &mce, &fp_in, &fp_rel,
+                    &fp_esc);
+    if (matched != 14 && matched != 17) {
       return std::nullopt;
     }
     core::CompareStats& s = snap.stats;
@@ -182,6 +191,9 @@ std::optional<core::CompareSnapshot> parse_snapshot(const std::string& text) {
     s.suppressed_recovered = v[11];
     s.cache_entries = ce;
     s.max_cache_entries = mce;
+    s.fastpath_ingested = fp_in;
+    s.fastpath_released = fp_rel;
+    s.sampled_escalated = fp_esc;
   }
 
   if (!next_line(text, pos, line)) return std::nullopt;

@@ -21,10 +21,41 @@ sim::Duration expected_duration(const SoakOptions& options) {
   return sim::Duration::seconds_f(secs);
 }
 
+/// Forwards only the record kinds the protocol checker actually reads
+/// (everything except the hub/replica/link forwarding narration), so a
+/// perf-comparison pair is not dominated by serialize-and-hash cost that
+/// is identical on both sides anyway (see SoakOptions::protocol_trace_only).
+class ProtocolFilterSink final : public obs::TraceSink {
+ public:
+  explicit ProtocolFilterSink(obs::TraceSink& downstream)
+      : downstream_(downstream) {}
+
+  void append(const obs::TraceRecord& record) override {
+    switch (record.event) {
+      case obs::TraceEvent::kHubIngress:
+      case obs::TraceEvent::kHubMerge:
+      case obs::TraceEvent::kReplicaForward:
+      case obs::TraceEvent::kLinkDrop:
+      case obs::TraceEvent::kLinkLoss:
+        return;
+      default:
+        downstream_.append(record);
+    }
+  }
+
+ private:
+  obs::TraceSink& downstream_;
+};
+
 }  // namespace
 
 SoakResult run_soak(const SoakOptions& options) {
   NETCO_ASSERT(options.packets > 0 && options.rate.positive());
+  NETCO_ASSERT_MSG(
+      !(options.sampling.enabled && options.resilience.enabled),
+      "sampled verification and warm-standby resilience are mutually "
+      "exclusive: fast-path releases bypass the standby's suppression "
+      "window (see SoakOptions::sampling)");
   obs::Observability& obs = obs::global();
   obs.metrics.reset();
 
@@ -40,6 +71,7 @@ SoakResult run_soak(const SoakOptions& options) {
   // the rest of the soak. This also keeps the unblock timer path hot.
   topo_options.combiner.block_duration = sim::Duration::milliseconds(50);
   topo_options.health = options.health;
+  topo_options.combiner.compare.sampling = options.sampling;
 
   SoakOptions opts = options;  // materialize the default plan
   const sim::Duration horizon = expected_duration(options);
@@ -65,11 +97,16 @@ SoakResult run_soak(const SoakOptions& options) {
   // Adaptive mode: the checker follows health.quarantine/readmit records
   // in the stream, so quarantine-shrunken quorums validate correctly.
   check_cfg.k = options.k;
-  // The at-most-once egress invariant only engages for resilience runs:
-  // crash-recovery and failover are the paths that could double-release.
-  check_cfg.check_duplicates = opts.resilience.enabled;
+  // The at-most-once egress invariant engages for resilience runs
+  // (crash-recovery and failover could double-release) and for sampled
+  // runs (the fast path and the full compare must never both release).
+  check_cfg.check_duplicates = opts.resilience.enabled ||
+                               opts.sampling.enabled;
   faultinject::QuorumTraceChecker checker(check_cfg);
-  obs::ScopedTraceSink scoped(checker);
+  ProtocolFilterSink filtered(checker);
+  obs::ScopedTraceSink scoped(options.protocol_trace_only
+                                  ? static_cast<obs::TraceSink&>(filtered)
+                                  : checker);
 
   // Construct after the topology, destroy before it (taps and timers
   // reference the edges). Requires the compare (combine mode).
@@ -157,6 +194,8 @@ SoakResult run_soak(const SoakOptions& options) {
       if (stats == nullptr) continue;
       result.compare_ingested += stats->ingested;
       result.compare_released += stats->released;
+      result.fastpath_released += stats->fastpath_released;
+      result.sampled_escalated += stats->sampled_escalated;
     }
   }
   result.trace_records = checker.records_seen();
@@ -204,8 +243,23 @@ SoakResult run_soak(const SoakOptions& options) {
     result.first_quarantine_ns = summary.first_quarantine_ns;
     result.first_readmit_ns = summary.first_readmit_ns;
   }
+  // Detection-latency telemetry: quarantine lag behind the plan's first
+  // byzantine swap (the EXPERIMENTS.md latency-vs-throughput axis).
+  for (const faultinject::FaultEvent& ev : opts.plan.events) {
+    if (ev.kind == faultinject::FaultKind::kBehaviorSwap &&
+        ev.behavior != faultinject::SwapBehavior::kHonest) {
+      result.first_swap_ns = ev.at_ns;
+      break;
+    }
+  }
+  if (result.first_swap_ns >= 0 &&
+      result.first_quarantine_ns >= result.first_swap_ns) {
+    result.time_to_quarantine_ns =
+        result.first_quarantine_ns - result.first_swap_ns;
+  }
   result.invariants.merge(checker.report());
   result.stream_hash = checker.stream_hash();
+  result.egress_set_hash = checker.egress_set_hash();
   result.metrics_json = obs.metrics.to_json();
   return result;
 }

@@ -52,6 +52,22 @@ struct SoakOptions {
   /// Enabling it also turns on the checker's duplicate-egress invariant
   /// and, when the default fault plan is used, adds one compare crash.
   resilience::ResilienceConfig resilience;
+  /// Sampled-verification fast path (§XII; disabled by default, same
+  /// bit-identity guarantee). Enabling it also arms the checker's
+  /// duplicate-egress invariant — the fast path must never double-release.
+  /// Mutually exclusive with resilience.enabled: fast-path releases happen
+  /// synchronously at the edge, invisible to a warm standby's suppression
+  /// window, so the combination would break at-most-once egress.
+  core::CompareSampling sampling;
+  /// Feed the invariant checker only the protocol-relevant records
+  /// (compare.*, health.*, resilience.*), skipping the per-record
+  /// serialize-and-hash cost of the forwarding narration (hub.*,
+  /// replica.forward, link.*). Every invariant still checks — the checker
+  /// never reads the dropped record kinds — but stream_hash then covers
+  /// the protocol stream only. Perf-comparison configs set this on BOTH
+  /// sides of a pair so the measured delta is the compare path, not
+  /// shared observability overhead.
+  bool protocol_trace_only = false;
 };
 
 /// Everything a soak run produces.
@@ -95,6 +111,18 @@ struct SoakResult {
   std::uint64_t duplicate_egress = 0;     ///< trace-checker duplicates
   std::uint64_t downtime_drops = 0;       ///< packet-ins the dead process ate
   std::uint64_t suppressed_recovered = 0; ///< post-restart taint suppressions
+  /// Sampled-verification outcome (zero while sampling is disabled).
+  std::uint64_t fastpath_released = 0;
+  std::uint64_t sampled_escalated = 0;
+  /// Order-independent digest of the released-packet multiset per wire —
+  /// equal across a sampled and a full-verify run that delivered the same
+  /// packets, even though their trace streams (and stream_hash) differ.
+  std::uint64_t egress_set_hash = 0;
+  /// Detection-latency telemetry: sim-time of the plan's first byzantine
+  /// behaviour swap, and the first quarantine's lag behind it (-1 = no
+  /// swap in the plan / quarantine never happened / happened before it).
+  std::int64_t first_swap_ns = -1;
+  std::int64_t time_to_quarantine_ns = -1;
   /// Merged verdict of the trace checker and every cache audit.
   faultinject::InvariantReport invariants;
   /// FNV-1a over the canonical trace stream (determinism fingerprint).

@@ -4,11 +4,15 @@
 // checker that can't fail is not a checker).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "faultinject/fault_plan.h"
 #include "faultinject/injector.h"
 #include "faultinject/invariants.h"
+#include "net/headers.h"
+#include "netco/compare_core.h"
 #include "scenario/scenarios.h"
 
 namespace netco::faultinject {
@@ -346,6 +350,193 @@ TEST(QuorumTraceChecker, TeesToDownstreamSink) {
   checker.append(record(obs::TraceEvent::kCompareIngest, 1, 0));
   EXPECT_EQ(downstream.records().size(), 1u);
   EXPECT_EQ(checker.records_seen(), 1u);
+}
+
+// --- §XII: fast-path releases and the weighted vote cache ------------------
+
+TEST(QuorumTraceChecker, FastpathReleaseCountsItsOwnVote) {
+  // The sampled mode's thinned trace: the release record itself names the
+  // deciding replica, with no separate ingest record preceding it.
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  checker.append(record(obs::TraceEvent::kCompareFastpath, 1, 0));
+  EXPECT_TRUE(checker.report().ok());
+  EXPECT_EQ(checker.releases(), 1u);
+}
+
+TEST(QuorumTraceChecker, FastpathReleaseFromQuarantinedReplicaTrips) {
+  QuorumTraceChecker::Config cfg;
+  cfg.quorum = 3;
+  cfg.k = 5;  // adaptive mode: track health records from the stream
+  QuorumTraceChecker checker(cfg);
+  checker.append(record(obs::TraceEvent::kHealthQuarantine, 0, 2, "health"));
+  checker.append(record(obs::TraceEvent::kCompareFastpath, 1, 2));
+  EXPECT_FALSE(checker.report().ok())
+      << "a quarantined replica's first copy must never be trusted";
+}
+
+TEST(QuorumTraceChecker, DuplicateEgressOnSameWireCounted) {
+  QuorumTraceChecker::Config cfg;
+  cfg.first_copy = true;
+  cfg.check_duplicates = true;
+  QuorumTraceChecker checker(cfg);
+  // Primary and standby feed the same wire (suffix after '/'): a second
+  // release of the same packet id inside the window is the split-brain
+  // duplicate this invariant hunts.
+  checker.append(record(obs::TraceEvent::kCompareFastpath, 7, 0,
+                        "compare/netco-e0"));
+  checker.append(record(obs::TraceEvent::kCompareIngest, 7, 1,
+                        "standby/netco-e0"));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 7, 1,
+                        "standby/netco-e0"));
+  EXPECT_EQ(checker.duplicates(), 1u);
+  // A different wire is a different egress: no duplicate.
+  checker.append(record(obs::TraceEvent::kCompareIngest, 7, 1,
+                        "compare/netco-e1"));
+  checker.append(record(obs::TraceEvent::kCompareRelease, 7, 1,
+                        "compare/netco-e1"));
+  EXPECT_EQ(checker.duplicates(), 1u);
+}
+
+TEST(QuorumTraceChecker, EgressSetHashIsOrderIndependent) {
+  // The differential anchor: two runs that release the same multiset of
+  // packets onto the same wires agree, whatever the interleaving.
+  QuorumTraceChecker a({.quorum = 2});
+  QuorumTraceChecker b({.quorum = 2});
+  a.append(record(obs::TraceEvent::kCompareFastpath, 1, 0, "compare/e0"));
+  a.append(record(obs::TraceEvent::kCompareFastpath, 2, 1, "compare/e1"));
+  b.append(record(obs::TraceEvent::kCompareFastpath, 2, 1, "compare/e1"));
+  b.append(record(obs::TraceEvent::kCompareFastpath, 1, 0, "compare/e0"));
+  EXPECT_EQ(a.egress_set_hash(), b.egress_set_hash());
+  EXPECT_NE(a.stream_hash(), b.stream_hash());  // order still fingerprinted
+
+  QuorumTraceChecker c({.quorum = 2});
+  c.append(record(obs::TraceEvent::kCompareFastpath, 1, 0, "compare/e0"));
+  c.append(record(obs::TraceEvent::kCompareFastpath, 3, 1, "compare/e1"));
+  EXPECT_NE(a.egress_set_hash(), c.egress_set_hash());
+}
+
+net::Packet numbered_packet(std::uint32_t n) {
+  std::vector<std::byte> data(64, std::byte{0});
+  return net::build_udp(
+      net::EthernetHeader{.dst = net::MacAddress::from_id(2),
+                          .src = net::MacAddress::from_id(1)},
+      std::nullopt,
+      net::Ipv4Header{.src = net::Ipv4Address::from_id(1),
+                      .dst = net::Ipv4Address::from_id(2),
+                      .identification = static_cast<std::uint16_t>(n)},
+      net::UdpHeader{.src_port = static_cast<std::uint16_t>(n >> 16),
+                     .dst_port = 5001},
+      data);
+}
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::origin() + sim::Duration::milliseconds(ms);
+}
+
+TEST(CheckAudit, VoteCacheSqueezeNeverStrandsEntries) {
+  // The accounting audit the issue asks for: drive the weighted vote
+  // cache through quota pressure, then squeeze the shared capacity knob,
+  // and prove every insert is conserved — still resident, or counted in
+  // exactly one eviction bucket. A stranded entry (dropped from the cache
+  // without an eviction record) would break the fast path's garbage
+  // attribution, so conservation is checked exactly, not as >=.
+  core::CompareConfig config{.k = 3};
+  config.sampling.enabled = true;
+  config.sampling.vote_capacity = 64;
+  config.sampling.vote_quota = 40;
+  core::CompareCore core(config);
+
+  // Replica 0 out of the live set: its copies vote with weight 0 and
+  // never release, so every entry stays a quota-holding singleton and the
+  // per-replica quota is the binding constraint first.
+  core.set_replica_live(0, false, at_ms(0));
+
+  const std::uint32_t kPackets = 100;
+  for (std::uint32_t i = 1; i <= kPackets; ++i) {
+    core.ingest_sampled(0, numbered_packet(i), at_ms(1));
+  }
+  const core::WeightedVoteCache* vc = core.vote_cache();
+  ASSERT_NE(vc, nullptr);
+
+  // Quota phase: size pinned at the quota, overflow evicted as quota
+  // casualties, and nothing unaccounted.
+  EXPECT_EQ(vc->size(), config.sampling.vote_quota);
+  EXPECT_EQ(vc->size() + vc->evicted_capacity() + vc->evicted_quota(),
+            kPackets);
+  {
+    InvariantReport report;
+    check_audit(core.audit(), "edge", report);
+    EXPECT_TRUE(report.ok()) << (report.details.empty()
+                                     ? std::string{}
+                                     : report.details.front());
+  }
+
+  // Squeeze: the full-cache capacity knob binds the vote cache too
+  // (min(vote_capacity, capacity) = 16), expelling the surplus as
+  // capacity casualties.
+  core.set_cache_capacity(16, at_ms(2));
+  EXPECT_EQ(vc->capacity(), 16u);
+  EXPECT_LE(vc->size(), vc->capacity());
+  EXPECT_EQ(vc->size() + vc->evicted_capacity() + vc->evicted_quota(),
+            kPackets);
+  {
+    InvariantReport report;
+    check_audit(core.audit(), "edge", report);
+    EXPECT_TRUE(report.ok()) << (report.details.empty()
+                                     ? std::string{}
+                                     : report.details.front());
+  }
+
+  // Release the squeeze and keep running: the cache regrows and the
+  // conservation ledger still balances.
+  core.set_cache_capacity(2048, at_ms(3));
+  EXPECT_EQ(vc->capacity(), config.sampling.vote_capacity);
+  for (std::uint32_t i = kPackets + 1; i <= kPackets + 10; ++i) {
+    core.ingest_sampled(0, numbered_packet(i), at_ms(4));
+  }
+  EXPECT_EQ(vc->size() + vc->evicted_capacity() + vc->evicted_quota(),
+            kPackets + 10);
+  {
+    InvariantReport report;
+    check_audit(core.audit(), "edge", report);
+    EXPECT_TRUE(report.ok()) << (report.details.empty()
+                                     ? std::string{}
+                                     : report.details.front());
+  }
+}
+
+TEST(CheckAudit, TripsOnVoteCacheDrift) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.vote_active = true;
+  audit.vote.consistent = false;
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.details.empty());
+  EXPECT_NE(report.details.front().find("vote cache"), std::string::npos);
+}
+
+TEST(CheckAudit, TripsOnVoteQuotaLeak) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.vote_active = true;
+  audit.vote.capacity = 8;
+  audit.vote.quota_counts = {3, 0};     // counter says 3 slots held...
+  audit.vote.live_quota_held = {0, 0};  // ...recount says none: a leak
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(CheckAudit, IgnoresVoteFieldsWhileSamplingInactive) {
+  core::CompareAudit audit;
+  audit.cache_capacity = 8;
+  audit.vote_active = false;
+  audit.vote.consistent = false;  // garbage, but the store is off
+  InvariantReport report;
+  check_audit(audit, "edge", report);
+  EXPECT_TRUE(report.ok());
 }
 
 }  // namespace

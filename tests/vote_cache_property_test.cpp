@@ -1,0 +1,301 @@
+// Property test: WeightedVoteCache vs a naive map model.
+//
+// The cache buys its O(1) fast path with intrusive bookkeeping (SoA
+// arena, bucket chains, age list, per-replica quota counters) — exactly
+// the machinery that rots silently. A long randomized op stream drives
+// the real cache and a deliberately dumb reference model in lockstep and
+// demands equivalence after every step:
+//
+//  * tally/mask/released equality for every live key;
+//  * eviction order: capacity evicts the lowest tally (tie: oldest),
+//    quota overflow evicts that replica's oldest singleton;
+//  * quota-slot conservation: counters match a recount at all times, so
+//    no squeeze/evict/release interleaving can strand a slot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netco/vote_cache.h"
+
+namespace netco::core {
+namespace {
+
+struct ModelEntry {
+  std::uint64_t key = 0;
+  std::uint64_t packet_id = 0;
+  std::uint64_t mask = 0;
+  double tally = 0.0;
+  std::int64_t first_seen_ns = 0;
+  int first_replica = -1;
+  bool released = false;
+  bool quota_held = false;
+};
+
+/// The reference: a flat vector in insertion (age) order with the same
+/// eviction rules spelled out the slow, obvious way.
+class ModelCache {
+ public:
+  ModelCache(std::size_t capacity, std::size_t quota, int k)
+      : capacity_(std::max<std::size_t>(1, capacity)),
+        arena_(capacity_),
+        quota_(quota),
+        k_(k) {}
+
+  [[nodiscard]] const ModelEntry* find(std::uint64_t key) const {
+    for (const ModelEntry& e : entries_) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t quota_count(int replica) const {
+    std::size_t n = 0;
+    for (const ModelEntry& e : entries_) {
+      if (e.quota_held && e.first_replica == replica) ++n;
+    }
+    return n;
+  }
+
+  void insert(std::uint64_t key, std::uint64_t packet_id, std::int64_t now,
+              int first_replica, std::vector<ModelEntry>& evicted) {
+    if (first_replica >= 0 && first_replica < k_ && quota_ > 0 &&
+        quota_count(first_replica) >= quota_) {
+      evict_quota(first_replica, evicted);
+    }
+    while (entries_.size() >= capacity_) evict_capacity(evicted);
+    ModelEntry e;
+    e.key = key;
+    e.packet_id = packet_id;
+    e.first_seen_ns = now;
+    e.first_replica = first_replica;
+    e.quota_held = first_replica >= 0 && first_replica < k_;
+    entries_.push_back(e);
+  }
+
+  bool add_vote(std::uint64_t key, int replica, double weight) {
+    ModelEntry* e = mutable_find(key);
+    const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
+    if ((e->mask & bit) != 0) return false;
+    e->mask |= bit;
+    e->tally += weight;
+    if (std::popcount(e->mask) == 2) e->quota_held = false;
+    return true;
+  }
+
+  void set_released(std::uint64_t key) {
+    ModelEntry* e = mutable_find(key);
+    e->released = true;
+    e->quota_held = false;
+  }
+
+  void erase(std::uint64_t key) {
+    entries_.erase(std::find_if(
+        entries_.begin(), entries_.end(),
+        [key](const ModelEntry& e) { return e.key == key; }));
+  }
+
+  void sweep(std::int64_t horizon, std::vector<ModelEntry>& dead) {
+    while (!entries_.empty() && entries_.front().first_seen_ns < horizon) {
+      dead.push_back(entries_.front());
+      entries_.erase(entries_.begin());
+    }
+  }
+
+  void set_capacity(std::size_t capacity, std::vector<ModelEntry>& evicted) {
+    capacity_ = std::clamp<std::size_t>(capacity, 1, arena_);
+    while (entries_.size() > capacity_) evict_capacity(evicted);
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<ModelEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  ModelEntry* mutable_find(std::uint64_t key) {
+    for (ModelEntry& e : entries_) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  void evict_capacity(std::vector<ModelEntry>& evicted) {
+    // Lowest tally wins; a tie keeps the earliest (oldest) candidate.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].tally < entries_[best].tally) best = i;
+    }
+    evicted.push_back(entries_[best]);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+
+  void evict_quota(int replica, std::vector<ModelEntry>& evicted) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].quota_held && entries_[i].first_replica == replica) {
+        evicted.push_back(entries_[i]);
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  const std::size_t arena_;  ///< construction-time bound, like the real one
+  std::size_t quota_;
+  int k_;
+  std::vector<ModelEntry> entries_;
+};
+
+void expect_equivalent(const WeightedVoteCache& cache,
+                       const ModelCache& model, std::uint64_t step) {
+  ASSERT_EQ(cache.size(), model.size()) << "step " << step;
+  for (const ModelEntry& e : model.entries()) {
+    const WeightedVoteCache::Slot slot = cache.find(e.key);
+    ASSERT_NE(slot, WeightedVoteCache::kNil)
+        << "step " << step << ": key " << e.key << " missing";
+    EXPECT_EQ(cache.mask(slot), e.mask) << "step " << step;
+    EXPECT_DOUBLE_EQ(cache.tally(slot), e.tally) << "step " << step;
+    EXPECT_EQ(cache.released(slot), e.released) << "step " << step;
+    EXPECT_EQ(cache.first_seen_ns(slot), e.first_seen_ns) << "step " << step;
+    EXPECT_EQ(cache.first_replica(slot), e.first_replica) << "step " << step;
+  }
+
+  const VoteCacheAudit audit = cache.audit();
+  ASSERT_TRUE(audit.consistent)
+      << "step " << step << ": entries=" << audit.entries
+      << " age=" << audit.age_entries << " chain=" << audit.chain_entries
+      << " free=" << audit.free_slots << " arena=" << audit.arena;
+  EXPECT_TRUE(audit.age_ordered) << "step " << step;
+  EXPECT_LE(audit.entries, audit.capacity) << "step " << step;
+  ASSERT_EQ(audit.quota_counts.size(), audit.live_quota_held.size());
+  for (std::size_t r = 0; r < audit.quota_counts.size(); ++r) {
+    EXPECT_EQ(audit.quota_counts[r], audit.live_quota_held[r])
+        << "step " << step << " replica " << r << ": quota counter drift";
+    EXPECT_EQ(audit.quota_counts[r], model.quota_count(static_cast<int>(r)))
+        << "step " << step << " replica " << r << ": quota vs model";
+  }
+}
+
+void expect_same_evictions(const std::vector<VoteEvicted>& real,
+                           const std::vector<ModelEntry>& expected,
+                           std::uint64_t step) {
+  ASSERT_EQ(real.size(), expected.size()) << "step " << step;
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    EXPECT_EQ(real[i].key, expected[i].key)
+        << "step " << step << ": eviction order diverged at casualty " << i;
+    EXPECT_EQ(real[i].mask, expected[i].mask) << "step " << step;
+    EXPECT_EQ(real[i].released, expected[i].released) << "step " << step;
+    EXPECT_EQ(real[i].first_seen_ns, expected[i].first_seen_ns)
+        << "step " << step;
+  }
+}
+
+void run_fuzz(std::uint64_t seed, std::size_t capacity, std::size_t quota,
+              int k, std::uint64_t ops) {
+  WeightedVoteCache cache(capacity, quota, k);
+  ModelCache model(capacity, quota, k);
+  std::mt19937_64 rng(seed);
+
+  // A small key space keeps find/vote hitting live entries; a clock that
+  // only moves forward keeps sweeps meaningful.
+  std::uniform_int_distribution<std::uint64_t> key_dist(1, 4 * capacity);
+  std::uniform_int_distribution<int> replica_dist(0, k - 1);
+  std::uniform_int_distribution<int> weight_dist(0, 4);
+  std::int64_t now = 0;
+
+  std::vector<std::uint64_t> live_keys;
+  const auto refresh_live = [&] {
+    live_keys.clear();
+    for (const ModelEntry& e : model.entries()) live_keys.push_back(e.key);
+  };
+
+  for (std::uint64_t step = 0; step < ops; ++step) {
+    now += static_cast<std::int64_t>(rng() % 1000);
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 45) {  // insert a fresh key (+ its first vote, like the core)
+      const std::uint64_t key = key_dist(rng);
+      if (model.find(key) != nullptr) continue;
+      const int replica = replica_dist(rng);
+      std::vector<VoteEvicted> evicted;
+      std::vector<ModelEntry> expected;
+      const auto slot =
+          cache.insert(key, key * 31, now, 200, replica, false, evicted);
+      model.insert(key, key * 31, now, replica, expected);
+      expect_same_evictions(evicted, expected, step);
+      const double w = static_cast<double>(weight_dist(rng)) / 4.0;
+      EXPECT_TRUE(cache.add_vote(slot, replica, w));
+      EXPECT_TRUE(model.add_vote(key, replica, w));
+    } else if (op < 75) {  // vote on a live entry
+      refresh_live();
+      if (live_keys.empty()) continue;
+      const std::uint64_t key = live_keys[rng() % live_keys.size()];
+      const int replica = replica_dist(rng);
+      const double w = static_cast<double>(weight_dist(rng)) / 4.0;
+      const auto slot = cache.find(key);
+      ASSERT_NE(slot, WeightedVoteCache::kNil);
+      EXPECT_EQ(cache.add_vote(slot, replica, w),
+                model.add_vote(key, replica, w))
+          << "step " << step << ": duplicate-vote detection diverged";
+    } else if (op < 85) {  // release or erase a live entry
+      refresh_live();
+      if (live_keys.empty()) continue;
+      const std::uint64_t key = live_keys[rng() % live_keys.size()];
+      const auto slot = cache.find(key);
+      ASSERT_NE(slot, WeightedVoteCache::kNil);
+      if ((rng() & 1) != 0) {
+        cache.set_released(slot);
+        model.set_released(key);
+      } else {
+        cache.erase(slot);
+        model.erase(key);
+      }
+    } else if (op < 95) {  // sweep everything older than a random horizon
+      const std::int64_t horizon = now - static_cast<std::int64_t>(rng() % 20000);
+      std::vector<ModelEntry> expected;
+      model.sweep(horizon, expected);
+      std::size_t i = 0;
+      cache.sweep(horizon, [&](WeightedVoteCache::Slot victim) {
+        ASSERT_LT(i, expected.size()) << "step " << step;
+        EXPECT_EQ(cache.key_of(victim), expected[i].key)
+            << "step " << step << ": sweep order diverged";
+        ++i;
+      });
+      EXPECT_EQ(i, expected.size()) << "step " << step;
+    } else {  // cache squeeze / restore
+      const std::size_t target = 1 + rng() % capacity;
+      std::vector<VoteEvicted> evicted;
+      std::vector<ModelEntry> expected;
+      cache.set_capacity(target, evicted);
+      model.set_capacity(target, expected);
+      expect_same_evictions(evicted, expected, step);
+    }
+
+    if (step % 64 == 0 || step + 1 == ops) {
+      expect_equivalent(cache, model, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  expect_equivalent(cache, model, ops);
+}
+
+TEST(VoteCacheProperty, MatchesModelUnderQuotaPressure) {
+  run_fuzz(/*seed=*/0xF00D, /*capacity=*/32, /*quota=*/4, /*k=*/4,
+           /*ops=*/20000);
+}
+
+TEST(VoteCacheProperty, MatchesModelUnderTinyCapacity) {
+  run_fuzz(/*seed=*/0xBEEF, /*capacity=*/8, /*quota=*/2, /*k=*/3,
+           /*ops=*/20000);
+}
+
+TEST(VoteCacheProperty, MatchesModelWithoutQuotaPressure) {
+  run_fuzz(/*seed=*/0xCAFE, /*capacity=*/64, /*quota=*/1000, /*k=*/5,
+           /*ops=*/20000);
+}
+
+}  // namespace
+}  // namespace netco::core
