@@ -154,8 +154,14 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
         needed = (config_.first_copy || live <= 2) ? 1 : live / 2 + 1;
       }
       // A fast-path release is first-copy-shaped by design: legal with one
-      // vote, as long as that vote came from a non-quarantined replica.
-      if (fastpath) needed = 1;
+      // vote, as long as that vote came from a non-quarantined replica —
+      // filtered here unconditionally, because the k > 0 filter above is
+      // off in non-adaptive checker configs and a quarantined deciding
+      // replica must never pass on the OR'd-in release vote alone.
+      if (fastpath) {
+        counted &= ~quarantined_mask_;
+        needed = 1;
+      }
       const int vote_count = std::popcount(counted);
       if (vote_count < needed) {
         char buf[128];

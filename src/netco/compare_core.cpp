@@ -244,7 +244,27 @@ bool CompareCore::full_entry_exists(std::uint64_t base,
   return false;
 }
 
-void CompareCore::finalize_vote_death(std::uint64_t packet_id,
+void CompareCore::tombstone_release(std::uint64_t key, sim::TimePoint now) {
+  if (votes_ == nullptr) return;
+  tombstones_[key] = now.ns();
+  tombstone_fifo_.emplace_back(now.ns(), key);
+}
+
+bool CompareCore::recently_released_key(std::uint64_t key,
+                                        sim::TimePoint now) {
+  const auto it = tombstones_.find(key);
+  if (it == tombstones_.end()) return false;
+  if (now.ns() - it->second >= config_.hold_timeout.ns()) {
+    // Expired: a same-hash packet this far out is a legitimate repeat,
+    // exactly as the full cache treats a recreated entry after expiry.
+    tombstones_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void CompareCore::finalize_vote_death(std::uint64_t key,
+                                      std::uint64_t packet_id,
                                       std::uint64_t mask, std::uint32_t bytes,
                                       int first_replica, bool released,
                                       bool escalated,
@@ -254,6 +274,9 @@ void CompareCore::finalize_vote_death(std::uint64_t packet_id,
   if (escalated) return;  // routing memo: the full cache owns this packet
   const int voters = std::popcount(mask);
   if (released) {
+    // The slot is gone but the packet went out: sibling copies still in
+    // flight must find the tombstone, not a vacant (re-releasable) key.
+    tombstone_release(key, now);
     if (std::popcount(mask & live_mask_) >= live_quorum()) {
       // Quorum-vouched after the fact: the usual matched/missed and
       // case-3 inactivity accounting applies. Silent in the trace stream,
@@ -296,8 +319,8 @@ void CompareCore::finalize_vote_death(std::uint64_t packet_id,
 
 void CompareCore::drain_vote_evictions(sim::TimePoint now) {
   for (const VoteEvicted& ev : evicted_scratch_) {
-    finalize_vote_death(ev.packet_id, ev.mask, ev.bytes, ev.first_replica,
-                        ev.released, ev.escalated,
+    finalize_vote_death(ev.key, ev.packet_id, ev.mask, ev.bytes,
+                        ev.first_replica, ev.released, ev.escalated,
                         sim::TimePoint::from_ns(ev.first_seen_ns), now,
                         ev.reason == VoteEvictReason::kQuota
                             ? obs::TraceEvent::kCompareEvictQuota
@@ -321,6 +344,21 @@ FastResult CompareCore::ingest_sampled(int replica, const net::Packet& packet,
   const std::uint64_t base = key_of(packet);
   auto slot = votes_->find(base);
   if (slot == WeightedVoteCache::kNil) {
+    // A release tombstone means this packet already went out and its
+    // cache state is gone (slot evicted under squeeze pressure, swept, or
+    // a released full entry erased). Absorb the straggler as late noise —
+    // re-running the election here could open a fresh releasable slot and
+    // emit the packet a second time. A live full-cache entry overrides
+    // the tombstone (a colliding *different* packet must still feed its
+    // own quorum).
+    if (recently_released_key(base, now) && !full_entry_exists(base, packet)) {
+      ++stats_.ingested;
+      ++stats_.fastpath_ingested;
+      ingested_counter_->inc();
+      note_arrival(replica, now);
+      ++stats_.late_after_release;
+      return out;
+    }
     // The first copy decides the route for every later copy (memoized in
     // the slot): the deterministic election, overridden to "escalate"
     // when the packet already lives in the full cache (restored entries,
@@ -377,6 +415,9 @@ FastResult CompareCore::ingest_sampled(int replica, const net::Packet& packet,
       finalize_masks(votes_->mask(slot),
                      sim::TimePoint::from_ns(votes_->first_seen_ns(slot)),
                      now);
+      // Eager completion erase: a byzantine re-send of the same packet
+      // after this must land on the tombstone, not on a fresh election.
+      tombstone_release(base, now);
       votes_->erase(slot);
     }
     return out;
@@ -557,7 +598,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     trace(obs::TraceEvent::kCompareLate, entry.exemplar, now, replica);
     if (entry.contributions == config_.k && !config_.retain_completed) {
       finalize(entry, now);
-      erase_entry(key);
+      erase_entry(key, now);
     }
     return std::nullopt;
   }
@@ -590,7 +631,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
             replica);
       if (entry.contributions == config_.k && !config_.retain_completed) {
         finalize(entry, now);
-        erase_entry(key);
+        erase_entry(key, now);
       }
       return std::nullopt;
     }
@@ -601,7 +642,7 @@ std::optional<net::Packet> CompareCore::ingest(int replica, net::Packet packet,
     net::Packet released = entry.exemplar;
     if (entry.contributions == config_.k && !config_.retain_completed) {
       finalize(entry, now);
-      erase_entry(key);
+      erase_entry(key, now);
     }
     return released;
   }
@@ -653,10 +694,18 @@ void CompareCore::finalize_masks(std::uint64_t replica_mask,
   }
 }
 
-void CompareCore::erase_entry(std::uint64_t key) {
+void CompareCore::erase_entry(std::uint64_t key, sim::TimePoint now) {
   const auto it = cache_.find(key);
   if (it == cache_.end()) return;
   Entry& entry = it->second;
+  if (entry.released) {
+    // Fast-path backstop (no-op while sampling is off): once a released
+    // full entry is gone, a straggler copy on the *fast* path must not
+    // elect a fresh releasable slot for the same key — the full path's
+    // recreate-needs-quorum protection does not exist there. Keyed by the
+    // base so it matches the vote cache's keying.
+    tombstone_release(entry.base_key, now);
+  }
   if (entry.holds_singleton_slot) {
     // Any eviction path returns the quota slot — including a released
     // kFirstCopy singleton whose partner never confirmed. The old check
@@ -711,7 +760,7 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
         divergent_verdict(entry, now);
       }
     }
-    erase_entry(key);
+    erase_entry(key, now);
     ++evicted;
   }
   if (votes_ != nullptr) {
@@ -720,13 +769,23 @@ std::size_t CompareCore::sweep(sim::TimePoint now) {
     // path's `now - first_seen >= hold_timeout` exactly).
     const std::int64_t horizon = now.ns() - config_.hold_timeout.ns() + 1;
     votes_->sweep(horizon, [&](WeightedVoteCache::Slot s) {
-      finalize_vote_death(votes_->packet_id(s), votes_->mask(s),
-                          votes_->bytes(s), votes_->first_replica(s),
-                          votes_->released(s), votes_->escalated(s),
+      finalize_vote_death(votes_->key_of(s), votes_->packet_id(s),
+                          votes_->mask(s), votes_->bytes(s),
+                          votes_->first_replica(s), votes_->released(s),
+                          votes_->escalated(s),
                           sim::TimePoint::from_ns(votes_->first_seen_ns(s)),
                           now, obs::TraceEvent::kCompareEvictTimeout);
       ++evicted;
     });
+    // Expired tombstones go with the same horizon; the map entry is only
+    // forgotten if no fresher tombstone for the key overwrote it.
+    const std::int64_t dead_ns = now.ns() - config_.hold_timeout.ns();
+    while (!tombstone_fifo_.empty() && tombstone_fifo_.front().first <= dead_ns) {
+      const auto [ns, key] = tombstone_fifo_.front();
+      const auto it = tombstones_.find(key);
+      if (it != tombstones_.end() && it->second == ns) tombstones_.erase(it);
+      tombstone_fifo_.pop_front();
+    }
   }
   return evicted;
 }
@@ -754,7 +813,7 @@ void CompareCore::capacity_cleanup(sim::TimePoint now) {
         divergent_verdict(entry, now);
       }
     }
-    erase_entry(key);
+    erase_entry(key, now);
     ++work;
   }
   last_cleanup_work_ = work;
@@ -773,7 +832,7 @@ void CompareCore::quota_evict(int replica, sim::TimePoint now) {
       trace(obs::TraceEvent::kCompareEvictQuota, entry.exemplar, now, replica);
       note_garbage(replica, now);
       divergent_verdict(entry, now);
-      erase_entry(*age_it);
+      erase_entry(*age_it, now);
       return;
     }
   }
@@ -940,8 +999,12 @@ void CompareCore::restore(const CompareSnapshot& snap, sim::TimePoint now) {
     // the core fully verifies for one hold window: restored entries force
     // their copies to escalate anyway (full_entry_exists), and pinning
     // the period keeps fresh pre-crash in-flight copies off a vote cache
-    // that no longer remembers their releases.
+    // that no longer remembers their releases. Tombstones go with it:
+    // during the pin every packet escalates, and the full path's
+    // recovered-entry taint owns the at-most-once guarantee.
     votes_->clear();
+    tombstones_.clear();
+    tombstone_fifo_.clear();
     sampling_resume_at_ = now + config_.hold_timeout;
   }
 }

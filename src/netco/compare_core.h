@@ -427,12 +427,25 @@ class CompareCore {
   [[nodiscard]] double live_weight_total() const noexcept;
   /// Verdict/trace/stat bookkeeping for a dying vote-cache slot; the
   /// evict_event selects the never-released counter (timeout, capacity or
-  /// quota — mirroring the full cache's three eviction paths).
-  void finalize_vote_death(std::uint64_t packet_id, std::uint64_t mask,
-                           std::uint32_t bytes, int first_replica,
-                           bool released, bool escalated,
+  /// quota — mirroring the full cache's three eviction paths). A released
+  /// slot leaves a tombstone for its key so in-flight sibling copies
+  /// cannot re-open a releasable slot (see tombstone_release()).
+  void finalize_vote_death(std::uint64_t key, std::uint64_t packet_id,
+                           std::uint64_t mask, std::uint32_t bytes,
+                           int first_replica, bool released, bool escalated,
                            sim::TimePoint first_seen, sim::TimePoint now,
                            obs::TraceEvent evict_event);
+  /// Records that `key`'s packet was released and its cache state is gone
+  /// (slot evicted/swept, or a released full-cache entry erased). Until
+  /// the tombstone expires — one hold_timeout, the same horizon in-flight
+  /// copies are bounded by — a fast-path copy of the key is absorbed as
+  /// late_after_release instead of electing a fresh (releasable) slot,
+  /// which is the at-most-once backstop against cache-squeeze evictions
+  /// of just-released entries. No-op while sampling is off.
+  void tombstone_release(std::uint64_t key, sim::TimePoint now);
+  /// Whether `key` has an unexpired release tombstone (lazily expiring).
+  [[nodiscard]] bool recently_released_key(std::uint64_t key,
+                                           sim::TimePoint now);
   /// Converts the scratch list of cache-internal evictions (capacity
   /// squeezes, quota overflow) into stats/traces/verdicts.
   void drain_vote_evictions(sim::TimePoint now);
@@ -443,7 +456,7 @@ class CompareCore {
   /// quorum-vouched packet that died with this vote mask.
   void finalize_masks(std::uint64_t replica_mask, sim::TimePoint first_seen,
                       sim::TimePoint now);
-  void erase_entry(std::uint64_t key);
+  void erase_entry(std::uint64_t key, sim::TimePoint now);
   void capacity_cleanup(sim::TimePoint now);
   void quota_evict(int replica, sim::TimePoint now);
   void note_arrival(int replica, sim::TimePoint now);
@@ -490,6 +503,14 @@ class CompareCore {
   /// core must fully verify until pre-crash in-flight traffic drains.
   sim::TimePoint sampling_resume_at_ = sim::TimePoint::origin();
   std::vector<VoteEvicted> evicted_scratch_;
+  /// Release tombstones (key → release/erase time): keys whose packet
+  /// released but whose cache state is already gone. Bounded by the
+  /// release volume of one hold_timeout window — the FIFO prunes expired
+  /// entries on every sweep (the map value disambiguates a key that was
+  /// re-tombstoned inside the window, mirroring the checker's
+  /// release-log pruning).
+  std::unordered_map<std::uint64_t, std::int64_t> tombstones_;
+  std::deque<std::pair<std::int64_t, std::uint64_t>> tombstone_fifo_;
 
   // key → entry. Collisions across *different* packets with equal keys are
   // resolved by same_packet() refusing to merge; the colliding packet is

@@ -98,18 +98,39 @@ void WeightedVoteCache::release_quota(Slot slot) noexcept {
 }
 
 WeightedVoteCache::Slot WeightedVoteCache::capacity_victim() const noexcept {
-  // Oldest-first walk: ties on tally keep the first (oldest) candidate,
-  // so eviction preserves the top-k tallies and, within a tally band,
-  // recency.
-  Slot best = kNil;
-  double best_tally = 0.0;
-  for (Slot s = age_head_; s != kNil; s = age_next_[s]) {
-    if (best == kNil || tally_[s] < best_tally) {
-      best = s;
-      best_tally = tally_[s];
+  // Bounded oldest-first scan (ties on tally keep the first = oldest
+  // candidate), with a two-level preference: an *unreleased* entry always
+  // goes before a released one — a just-released slot evicted while its
+  // sibling copies are still in flight would let the recreated entry
+  // release the same packet twice — and *escalated* routing memos are
+  // spared entirely unless the cache holds nothing else (losing a memo
+  // can split one packet's copies across the fast and full paths).
+  Slot best_open = kNil;      // unreleased, non-escalated
+  Slot best_released = kNil;  // released, non-escalated
+  double best_open_tally = 0.0;
+  double best_released_tally = 0.0;
+  Slot s = age_head_;
+  for (std::size_t scanned = 0; s != kNil && scanned < kVictimScanLimit;
+       s = age_next_[s], ++scanned) {
+    if ((flags_[s] & kEscalated) != 0) continue;
+    if ((flags_[s] & kReleased) != 0) {
+      if (best_released == kNil || tally_[s] < best_released_tally) {
+        best_released = s;
+        best_released_tally = tally_[s];
+      }
+    } else if (best_open == kNil || tally_[s] < best_open_tally) {
+      best_open = s;
+      best_open_tally = tally_[s];
     }
   }
-  return best;
+  if (best_open != kNil) return best_open;
+  if (best_released != kNil) return best_released;
+  // The sampled window was all memos: walk on for the first evictable
+  // entry; a cache of nothing but memos surrenders its oldest one.
+  for (; s != kNil; s = age_next_[s]) {
+    if ((flags_[s] & kEscalated) == 0) return s;
+  }
+  return age_head_;
 }
 
 WeightedVoteCache::Slot WeightedVoteCache::quota_victim(
@@ -144,7 +165,10 @@ WeightedVoteCache::Slot WeightedVoteCache::insert(
     std::uint64_t key, std::uint64_t packet_id, std::int64_t now_ns,
     std::uint32_t bytes, int first_replica, bool escalated,
     std::vector<VoteEvicted>& evicted) {
-  if (first_replica >= 0 &&
+  // Escalated memos neither consume nor trigger the quota: only an insert
+  // that is about to take a quota slot may push out its replica's oldest
+  // singleton.
+  if (!escalated && first_replica >= 0 &&
       static_cast<std::size_t>(first_replica) < quota_counts_.size() &&
       per_replica_quota_ > 0 &&
       quota_counts_[static_cast<std::size_t>(first_replica)] >=
@@ -168,7 +192,7 @@ WeightedVoteCache::Slot WeightedVoteCache::insert(
   first_replica_[slot] = static_cast<std::int16_t>(first_replica);
   flags_[slot] = kInUse;
   if (escalated) flags_[slot] |= kEscalated;
-  if (first_replica >= 0 &&
+  if (!escalated && first_replica >= 0 &&
       static_cast<std::size_t>(first_replica) < quota_counts_.size()) {
     flags_[slot] |= kQuotaSlot;
     ++quota_counts_[static_cast<std::size_t>(first_replica)];
@@ -189,7 +213,10 @@ WeightedVoteCache::Slot WeightedVoteCache::insert(
 
 bool WeightedVoteCache::add_vote(Slot slot, int replica,
                                  double weight) noexcept {
-  const std::uint64_t bit = 1ULL << replica;
+  // Mirror the bounds checks in insert()/release_quota(): a replica the
+  // 64-bit mask cannot represent must be rejected, not shifted into UB.
+  if (replica < 0 || replica >= 64) return false;
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
   if ((mask_[slot] & bit) != 0) return false;
   mask_[slot] |= bit;
   tally_[slot] += weight;

@@ -7,14 +7,24 @@
 // are arena-allocated structure-of-arrays slots — the hash chain walk
 // touches only the key column and prefetches the next link — so the
 // per-packet cost is O(1) inserts plus an intrusive age list for
-// oldest-first sweeps. Eviction keeps the top-k tallies: when the arena
-// is full the lowest-tally (tie: oldest) entry goes first.
+// oldest-first sweeps. Capacity eviction approximates keep-the-top-k
+// tallies with a bounded scan over the oldest entries (kVictimScanLimit,
+// so a full cache stays O(1) per ingest), with two safety preferences
+// layered on top: *unreleased* entries go before released ones — a
+// just-released slot evicted while sibling copies are still in flight
+// would let a recreated entry release the same packet twice — and
+// *escalated* routing memos go last of all (only when nothing else is
+// left), because losing a memo can split one packet's copies across the
+// fast and full paths.
 //
 // The per-replica singleton quota from CompareCore carries over: an entry
 // holds one quota slot of its first replica while it has at most one
 // distinct voter and has not released; the slot returns on the second
 // distinct vote, on release, or on erase — never leaks (the PR 2 bug
-// class), which audit() proves by recount.
+// class), which audit() proves by recount. Escalated memos are exempt:
+// they neither charge nor trigger the quota (they are tiny, carry no
+// payload, and are bounded by the in-flight sampled packets), so quota
+// pressure can never expel a packet's routing decision.
 #pragma once
 
 #include <cstddef>
@@ -67,6 +77,11 @@ class WeightedVoteCache {
  public:
   using Slot = std::uint32_t;
   static constexpr Slot kNil = 0xFFFFFFFFu;
+  /// Capacity eviction scans at most this many of the oldest entries for
+  /// the lowest tally — a bounded approximation of global top-k that
+  /// keeps a full cache O(1) per ingest (the property test's reference
+  /// model replicates the same window).
+  static constexpr std::size_t kVictimScanLimit = 16;
 
   WeightedVoteCache(std::size_t capacity, std::size_t per_replica_quota,
                     int k);
@@ -76,15 +91,18 @@ class WeightedVoteCache {
   [[nodiscard]] Slot find(std::uint64_t key) const noexcept;
 
   /// Allocates a slot for `key` (must not already be present). May first
-  /// evict — capacity victim or the first replica's oldest singleton —
-  /// appending each casualty to `evicted`. Returns the new slot.
+  /// evict — capacity victim or, for non-escalated inserts, the first
+  /// replica's oldest singleton — appending each casualty to `evicted`.
+  /// Escalated memos take no quota slot. Returns the new slot.
   Slot insert(std::uint64_t key, std::uint64_t packet_id, std::int64_t now_ns,
               std::uint32_t bytes, int first_replica, bool escalated,
               std::vector<VoteEvicted>& evicted);
 
   /// Adds `weight` from `replica` to the slot's tally. Returns false (and
   /// changes nothing) if that replica already voted — the duplicate-vote
-  /// signal. The second *distinct* voter returns the singleton quota slot.
+  /// signal — or if `replica` is outside [0, 64), which the bitmask
+  /// cannot represent. The second *distinct* voter returns the singleton
+  /// quota slot.
   bool add_vote(Slot slot, int replica, double weight) noexcept;
 
   /// Marks the slot released (returns its quota slot if still held).

@@ -374,6 +374,18 @@ TEST(QuorumTraceChecker, FastpathReleaseFromQuarantinedReplicaTrips) {
       << "a quarantined replica's first copy must never be trusted";
 }
 
+TEST(QuorumTraceChecker, FastpathFromQuarantinedTripsWithoutAdaptiveMode) {
+  // The k == 0 (non-adaptive) config must still reject a quarantined
+  // deciding replica: the fast-path release vote is OR'd in from the
+  // release record itself, so it would otherwise bypass the quarantine
+  // filter that adaptive mode applies to the counted mask.
+  QuorumTraceChecker checker({.quorum = 2, .first_copy = false});
+  checker.append(record(obs::TraceEvent::kHealthQuarantine, 0, 2, "health"));
+  checker.append(record(obs::TraceEvent::kCompareFastpath, 1, 2));
+  EXPECT_FALSE(checker.report().ok())
+      << "quarantined fast-path vote passed the non-adaptive checker";
+}
+
 TEST(QuorumTraceChecker, DuplicateEgressOnSameWireCounted) {
   QuorumTraceChecker::Config cfg;
   cfg.first_copy = true;
@@ -458,9 +470,11 @@ TEST(CheckAudit, VoteCacheSqueezeNeverStrandsEntries) {
   const core::WeightedVoteCache* vc = core.vote_cache();
   ASSERT_NE(vc, nullptr);
 
-  // Quota phase: size pinned at the quota, overflow evicted as quota
-  // casualties, and nothing unaccounted.
-  EXPECT_EQ(vc->size(), config.sampling.vote_quota);
+  // Quota phase: size pinned at the quota plus the escalated routing
+  // memos (1-in-period elections, quota-exempt), overflow evicted as
+  // quota casualties, and nothing unaccounted.
+  const std::uint64_t memos = core.stats().sampled_escalated;
+  EXPECT_EQ(vc->size(), config.sampling.vote_quota + memos);
   EXPECT_EQ(vc->size() + vc->evicted_capacity() + vc->evicted_quota(),
             kPackets);
   {
@@ -503,6 +517,92 @@ TEST(CheckAudit, VoteCacheSqueezeNeverStrandsEntries) {
                                      ? std::string{}
                                      : report.details.front());
   }
+}
+
+// Returns the first packet number >= `start` whose key is NOT elected for
+// the full compare under `core`'s sampling config (its first fast-path
+// ingest either releases or votes, never escalates).
+std::uint32_t first_fastpath_packet(core::CompareCore& core,
+                                    std::uint32_t start, int replica,
+                                    sim::TimePoint at,
+                                    core::FastResult& result) {
+  for (std::uint32_t n = start;; ++n) {
+    result = core.ingest_sampled(replica, numbered_packet(n), at);
+    if (!result.escalated) return n;
+  }
+}
+
+TEST(FastPath, ReleasedSlotEvictionCannotDuplicateEgress) {
+  // The cache-squeeze duplicate: a fast-path release whose vote-cache
+  // slot is then evicted under capacity pressure while sibling copies are
+  // still in flight. Without the release tombstone the next copy found a
+  // vacant key, re-ran the (deterministic, fast-path) election, and
+  // released the same packet a second time via healthy-first-copy.
+  core::CompareConfig config{.k = 3};
+  config.sampling.enabled = true;
+  core::CompareCore core(config);
+
+  core::FastResult first;
+  const std::uint32_t n = first_fastpath_packet(core, 1, 0, at_ms(1), first);
+  ASSERT_TRUE(first.released.has_value());  // healthy first copy released
+  EXPECT_EQ(core.stats().fastpath_released, 1u);
+
+  // Squeeze both stores to a single slot: the released slot is expelled
+  // (it is the only capacity victim available).
+  core.set_cache_capacity(1, at_ms(1));
+  core::FastResult other;
+  first_fastpath_packet(core, n + 1, 1, at_ms(1), other);
+  ASSERT_EQ(core.vote_cache()->find(
+                numbered_packet(n).content_hash()),
+            core::WeightedVoteCache::kNil)
+      << "test premise: the released slot must be gone";
+  const std::uint64_t released_before = core.stats().fastpath_released;
+
+  // A sibling copy inside the hold window lands on the tombstone: late
+  // noise, never a second egress.
+  const core::FastResult dup = core.ingest_sampled(1, numbered_packet(n),
+                                                   at_ms(2));
+  EXPECT_FALSE(dup.escalated);
+  EXPECT_FALSE(dup.released.has_value());
+  EXPECT_EQ(core.stats().fastpath_released, released_before);
+  EXPECT_GE(core.stats().late_after_release, 1u);
+
+  // Beyond the hold window the tombstone has expired: a same-hash packet
+  // is a legitimate repeat and releases afresh, exactly like the full
+  // cache's recreate-after-expiry semantics.
+  const core::FastResult later = core.ingest_sampled(0, numbered_packet(n),
+                                                     at_ms(30));
+  EXPECT_TRUE(later.released.has_value());
+}
+
+TEST(FastPath, StragglerAfterSweptReleaseIsLateNotReleased) {
+  // Same invariant through the sweep path: the released slot dies at the
+  // hold timeout, and a straggler arriving within one more hold window
+  // must be absorbed, not re-elected into a fresh releasable slot.
+  core::CompareConfig config{.k = 3};
+  config.sampling.enabled = true;
+  core::CompareCore core(config);
+
+  core::FastResult first;
+  const std::uint32_t n = first_fastpath_packet(core, 1, 0, at_ms(1), first);
+  ASSERT_TRUE(first.released.has_value());
+
+  core.sweep(at_ms(25));  // hold_timeout (20 ms) expired: slot dies
+  ASSERT_EQ(core.vote_cache()->find(
+                numbered_packet(n).content_hash()),
+            core::WeightedVoteCache::kNil);
+
+  const core::FastResult dup = core.ingest_sampled(1, numbered_packet(n),
+                                                   at_ms(30));
+  EXPECT_FALSE(dup.escalated);
+  EXPECT_FALSE(dup.released.has_value());
+  EXPECT_EQ(core.stats().fastpath_released, 1u);
+
+  // One hold window after the sweep the key is fresh again.
+  const core::FastResult later = core.ingest_sampled(0, numbered_packet(n),
+                                                     at_ms(60));
+  EXPECT_TRUE(later.released.has_value());
+  EXPECT_EQ(core.stats().fastpath_released, 2u);
 }
 
 TEST(CheckAudit, TripsOnVoteCacheDrift) {

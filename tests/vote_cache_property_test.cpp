@@ -7,8 +7,11 @@
 // demands equivalence after every step:
 //
 //  * tally/mask/released equality for every live key;
-//  * eviction order: capacity evicts the lowest tally (tie: oldest),
-//    quota overflow evicts that replica's oldest singleton;
+//  * eviction order: capacity scans the kVictimScanLimit oldest entries
+//    and evicts the lowest-tally *unreleased* one (tie: oldest),
+//    falling back to released entries and — only when nothing else is
+//    left — escalated memos; quota overflow evicts that replica's
+//    oldest singleton (memos neither charge nor trigger the quota);
 //  * quota-slot conservation: counters match a recount at all times, so
 //    no squeeze/evict/release interleaving can strand a slot.
 #include <gtest/gtest.h>
@@ -32,6 +35,7 @@ struct ModelEntry {
   std::int64_t first_seen_ns = 0;
   int first_replica = -1;
   bool released = false;
+  bool escalated = false;
   bool quota_held = false;
 };
 
@@ -61,9 +65,11 @@ class ModelCache {
   }
 
   void insert(std::uint64_t key, std::uint64_t packet_id, std::int64_t now,
-              int first_replica, std::vector<ModelEntry>& evicted) {
-    if (first_replica >= 0 && first_replica < k_ && quota_ > 0 &&
-        quota_count(first_replica) >= quota_) {
+              int first_replica, bool escalated,
+              std::vector<ModelEntry>& evicted) {
+    // Escalated memos neither charge nor trigger the quota.
+    if (!escalated && first_replica >= 0 && first_replica < k_ &&
+        quota_ > 0 && quota_count(first_replica) >= quota_) {
       evict_quota(first_replica, evicted);
     }
     while (entries_.size() >= capacity_) evict_capacity(evicted);
@@ -72,7 +78,8 @@ class ModelCache {
     e.packet_id = packet_id;
     e.first_seen_ns = now;
     e.first_replica = first_replica;
-    e.quota_held = first_replica >= 0 && first_replica < k_;
+    e.escalated = escalated;
+    e.quota_held = !escalated && first_replica >= 0 && first_replica < k_;
     entries_.push_back(e);
   }
 
@@ -124,13 +131,37 @@ class ModelCache {
   }
 
   void evict_capacity(std::vector<ModelEntry>& evicted) {
-    // Lowest tally wins; a tie keeps the earliest (oldest) candidate.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].tally < entries_[best].tally) best = i;
+    // Bounded sample of the oldest entries; lowest tally wins and a tie
+    // keeps the earliest (oldest) candidate. Unreleased entries go before
+    // released ones; escalated memos only when nothing else is left.
+    const std::size_t npos = entries_.size();
+    const std::size_t scan =
+        std::min(entries_.size(), WeightedVoteCache::kVictimScanLimit);
+    std::size_t best_open = npos, best_released = npos;
+    for (std::size_t i = 0; i < scan; ++i) {
+      const ModelEntry& e = entries_[i];
+      if (e.escalated) continue;
+      if (e.released) {
+        if (best_released == npos ||
+            e.tally < entries_[best_released].tally) {
+          best_released = i;
+        }
+      } else if (best_open == npos || e.tally < entries_[best_open].tally) {
+        best_open = i;
+      }
     }
-    evicted.push_back(entries_[best]);
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+    std::size_t victim = best_open != npos ? best_open : best_released;
+    if (victim == npos) {
+      for (std::size_t i = scan; i < entries_.size(); ++i) {
+        if (!entries_[i].escalated) {
+          victim = i;
+          break;
+        }
+      }
+    }
+    if (victim == npos) victim = 0;  // nothing but memos: oldest goes
+    evicted.push_back(entries_[victim]);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
   }
 
   void evict_quota(int replica, std::vector<ModelEntry>& evicted) {
@@ -160,6 +191,7 @@ void expect_equivalent(const WeightedVoteCache& cache,
     EXPECT_EQ(cache.mask(slot), e.mask) << "step " << step;
     EXPECT_DOUBLE_EQ(cache.tally(slot), e.tally) << "step " << step;
     EXPECT_EQ(cache.released(slot), e.released) << "step " << step;
+    EXPECT_EQ(cache.escalated(slot), e.escalated) << "step " << step;
     EXPECT_EQ(cache.first_seen_ns(slot), e.first_seen_ns) << "step " << step;
     EXPECT_EQ(cache.first_replica(slot), e.first_replica) << "step " << step;
   }
@@ -189,6 +221,7 @@ void expect_same_evictions(const std::vector<VoteEvicted>& real,
         << "step " << step << ": eviction order diverged at casualty " << i;
     EXPECT_EQ(real[i].mask, expected[i].mask) << "step " << step;
     EXPECT_EQ(real[i].released, expected[i].released) << "step " << step;
+    EXPECT_EQ(real[i].escalated, expected[i].escalated) << "step " << step;
     EXPECT_EQ(real[i].first_seen_ns, expected[i].first_seen_ns)
         << "step " << step;
   }
@@ -220,15 +253,20 @@ void run_fuzz(std::uint64_t seed, std::size_t capacity, std::size_t quota,
       const std::uint64_t key = key_dist(rng);
       if (model.find(key) != nullptr) continue;
       const int replica = replica_dist(rng);
+      // 1-in-8 inserts are escalated routing memos (quota-exempt,
+      // eviction-spared), roughly the sampled mode's election share.
+      const bool escalated = (rng() % 8) == 0;
       std::vector<VoteEvicted> evicted;
       std::vector<ModelEntry> expected;
       const auto slot =
-          cache.insert(key, key * 31, now, 200, replica, false, evicted);
-      model.insert(key, key * 31, now, replica, expected);
+          cache.insert(key, key * 31, now, 200, replica, escalated, evicted);
+      model.insert(key, key * 31, now, replica, escalated, expected);
       expect_same_evictions(evicted, expected, step);
-      const double w = static_cast<double>(weight_dist(rng)) / 4.0;
-      EXPECT_TRUE(cache.add_vote(slot, replica, w));
-      EXPECT_TRUE(model.add_vote(key, replica, w));
+      if (!escalated) {  // memos carry no votes in the core
+        const double w = static_cast<double>(weight_dist(rng)) / 4.0;
+        EXPECT_TRUE(cache.add_vote(slot, replica, w));
+        EXPECT_TRUE(model.add_vote(key, replica, w));
+      }
     } else if (op < 75) {  // vote on a live entry
       refresh_live();
       if (live_keys.empty()) continue;
@@ -280,6 +318,80 @@ void run_fuzz(std::uint64_t seed, std::size_t capacity, std::size_t quota,
     }
   }
   expect_equivalent(cache, model, ops);
+}
+
+TEST(VoteCacheUnit, AddVoteRejectsUnrepresentableReplica) {
+  // 1ULL << replica is UB outside [0, 64): the cache must reject such a
+  // vote (like a duplicate) instead of corrupting the mask and quota.
+  WeightedVoteCache cache(4, 2, 4);
+  std::vector<VoteEvicted> evicted;
+  const auto slot = cache.insert(1, 31, 0, 200, 0, false, evicted);
+  EXPECT_FALSE(cache.add_vote(slot, -1, 1.0));
+  EXPECT_FALSE(cache.add_vote(slot, 64, 1.0));
+  EXPECT_FALSE(cache.add_vote(slot, 1000, 1.0));
+  EXPECT_EQ(cache.mask(slot), 0u);
+  EXPECT_DOUBLE_EQ(cache.tally(slot), 0.0);
+  EXPECT_TRUE(cache.add_vote(slot, 63, 1.0));  // the mask's last legal bit
+  EXPECT_EQ(cache.mask(slot), 1ULL << 63);
+}
+
+TEST(VoteCacheUnit, EscalatedMemosAreQuotaExempt) {
+  WeightedVoteCache cache(16, /*quota=*/1, /*k=*/2);
+  std::vector<VoteEvicted> evicted;
+  cache.insert(1, 31, 0, 64, /*first_replica=*/0, /*escalated=*/false,
+               evicted);
+  // Memos from the same replica neither charge the quota nor push out its
+  // singleton.
+  cache.insert(2, 62, 1, 64, 0, true, evicted);
+  cache.insert(3, 93, 2, 64, 0, true, evicted);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(cache.size(), 3u);
+  // A second real singleton overflows the quota of 1: the oldest
+  // singleton goes, not a memo.
+  cache.insert(4, 124, 3, 64, 0, false, evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, 1u);
+  EXPECT_EQ(evicted[0].reason, VoteEvictReason::kQuota);
+}
+
+TEST(VoteCacheUnit, CapacityEvictionPrefersUnreleasedOverReleasedOverMemos) {
+  WeightedVoteCache cache(3, /*quota=*/100, /*k=*/4);
+  std::vector<VoteEvicted> evicted;
+  // Oldest first: a zero-tally *released* entry, an escalated memo, and an
+  // unreleased entry with a higher tally.
+  const auto released = cache.insert(1, 31, 0, 64, 0, false, evicted);
+  cache.set_released(released);
+  cache.insert(2, 62, 1, 64, 1, true, evicted);  // memo
+  const auto open = cache.insert(3, 93, 2, 64, 2, false, evicted);
+  EXPECT_TRUE(cache.add_vote(open, 2, 1.0));
+  ASSERT_TRUE(evicted.empty());
+
+  // Full: the unreleased entry is the victim even though the released one
+  // is older AND lower-tally — evicting a released slot while sibling
+  // copies are in flight is the duplicate-egress hazard.
+  const auto fourth = cache.insert(4, 124, 3, 64, 3, false, evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, 3u);
+
+  // With no unreleased entry left, the *oldest* released entry goes
+  // before the memo.
+  cache.set_released(fourth);
+  cache.insert(5, 155, 4, 64, 3, false, evicted);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[1].key, 1u);
+  EXPECT_TRUE(evicted[1].released);
+
+  // Memos only as the very last resort: fill the cache with nothing but
+  // memos and the oldest one surrenders.
+  cache.insert(6, 186, 5, 64, 0, true, evicted);  // evicts 5 (unreleased)
+  cache.insert(7, 217, 6, 64, 1, true, evicted);  // evicts 4 (released)
+  ASSERT_EQ(evicted.size(), 4u);
+  EXPECT_EQ(evicted[2].key, 5u);
+  EXPECT_EQ(evicted[3].key, 4u);
+  cache.insert(8, 248, 7, 64, 2, true, evicted);
+  ASSERT_EQ(evicted.size(), 5u);
+  EXPECT_EQ(evicted[4].key, 2u);  // the oldest memo
+  EXPECT_TRUE(evicted[4].escalated);
 }
 
 TEST(VoteCacheProperty, MatchesModelUnderQuotaPressure) {
