@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "common/assert.h"
 #include "obs/observability.h"
 #include "scenario/scenarios.h"
 #include "stats/table.h"
@@ -77,7 +78,9 @@ class ObsSession {
   ObsSession& operator=(const ObsSession&) = delete;
 
   /// Writes {"bench":<name>,"metrics":{...}} to NETCO_METRICS_OUT (one
-  /// line, parseable JSON) or, when unset, to stdout.
+  /// line, parseable JSON) or, when unset, to stdout. Short writes abort:
+  /// a truncated metrics file would fail downstream JSON parsers with no
+  /// hint that the disk filled up here.
   void dump_metrics(const char* bench_name) const {
     const std::string line = std::string("{\"bench\":\"") + bench_name +
                              "\",\"metrics\":" +
@@ -85,8 +88,12 @@ class ObsSession {
     if (const char* path = std::getenv("NETCO_METRICS_OUT");
         path != nullptr && *path != '\0') {
       if (std::FILE* f = std::fopen(path, "w")) {
-        std::fprintf(f, "%s\n", line.c_str());
+        const bool wrote = std::fprintf(f, "%s\n", line.c_str()) ==
+                           static_cast<int>(line.size()) + 1;
+        const bool flushed = std::fflush(f) == 0;
         std::fclose(f);
+        NETCO_ASSERT_MSG(wrote && flushed,
+                         "metrics dump: short write (disk full?)");
         return;
       }
     }

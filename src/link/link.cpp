@@ -4,11 +4,25 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "sim/shard.h"
 
 namespace netco::link {
 
+void Channel::bind_remote(sim::ShardChannel& channel, DeliverFn remote_sink) {
+  NETCO_ASSERT_MSG(sink_ == nullptr,
+                   "bind_remote on a channel that already has a local sink");
+  NETCO_ASSERT(static_cast<bool>(remote_sink));
+  NETCO_ASSERT_MSG(
+      channel.lookahead() <= config_.propagation,
+      "link propagation must cover the shard channel's lookahead — "
+      "otherwise a delivery could undercut the conservative horizon");
+  remote_ = &channel;
+  remote_sink_ = std::move(remote_sink);
+}
+
 void Channel::send(net::Packet packet) {
-  NETCO_ASSERT_MSG(sink_ != nullptr, "channel used before bind_sink()");
+  NETCO_ASSERT_MSG(sink_ != nullptr || remote_ != nullptr,
+                   "channel used before bind_sink()/bind_remote()");
   if (down_) {
     ++stats_.dropped_down;
     return;
@@ -55,8 +69,19 @@ void Channel::start_transmission(net::Packet packet) {
   stats_.tx_bytes += packet.size();
   const sim::Duration arrival = tx + config_.propagation + extra_latency_;
   // Deliver after serialization + propagation...
-  simulator_.schedule_after(
-      arrival, [this, p = std::move(packet)]() mutable { sink_(std::move(p)); });
+  if (remote_ != nullptr) {
+    // ...on the peer shard: the delivery callback is drained at the next
+    // barrier and runs in the receiving cell's simulator. remote_sink_ is
+    // written once at wiring time, so the cross-thread read is benign.
+    remote_->post(simulator_.now(), simulator_.now() + arrival,
+                  sim::Callback([this, p = std::move(packet)]() mutable {
+                    remote_sink_(std::move(p));
+                  }));
+  } else {
+    simulator_.schedule_after(arrival, [this, p = std::move(packet)]() mutable {
+      sink_(std::move(p));
+    });
+  }
   // ...and free the transmitter after serialization only.
   simulator_.schedule_after(tx, [this] { on_transmit_done(); });
 }

@@ -18,6 +18,10 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+namespace netco::sim {
+class ShardChannel;
+}  // namespace netco::sim
+
 namespace netco::link {
 
 /// Per-direction link parameters.
@@ -64,6 +68,15 @@ class Channel {
 
   /// Binds the receive side. Must be called exactly once before traffic.
   void bind_sink(DeliverFn sink) { sink_ = std::move(sink); }
+
+  /// Cross-shard mode: the receive side lives on another simulation shard
+  /// (sim/shard.h), so deliveries travel over `channel` instead of the
+  /// local event queue. `remote_sink` executes on the *receiving* shard's
+  /// worker thread and must only touch that shard's components. The
+  /// link's propagation delay must cover the channel's conservative
+  /// lookahead (asserted) — propagation is exactly what makes the link a
+  /// safe shard-crossing point. Mutually exclusive with bind_sink().
+  void bind_remote(sim::ShardChannel& channel, DeliverFn remote_sink);
 
   /// Hands a packet to the transmitter (queues or drops as needed).
   void send(net::Packet packet);
@@ -113,6 +126,8 @@ class Channel {
   obs::Histogram* queue_depth_;   ///< "link.queue_depth_bytes"
   obs::Counter* drop_counter_;    ///< "link.dropped_packets"
   DeliverFn sink_;
+  sim::ShardChannel* remote_ = nullptr;
+  DeliverFn remote_sink_;
   std::deque<net::Packet> queue_;
   std::size_t queued_bytes_ = 0;
   bool busy_ = false;

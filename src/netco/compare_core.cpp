@@ -35,8 +35,10 @@ CompareCore::CompareCore(CompareConfig config)
       verdict_latency_(&obs_->metrics.histogram("compare.verdict_latency_us")),
       released_counter_(&obs_->metrics.counter("compare.released")),
       ingested_counter_(&obs_->metrics.counter("compare.ingested")) {
-  NETCO_ASSERT_MSG(config_.k >= 1 && config_.k <= 63,
-                   "k must fit the replica bitmask");
+  NETCO_ASSERT_MSG(
+      config_.k >= 1 && config_.k < WeightedVoteCache::kMaxReplicas,
+      "CompareConfig.k out of range: replica ids must fit the 64-bit vote "
+      "bitmask (1 <= k < 64) — an oversized fleet would silently drop votes");
   live_mask_ = (1ULL << static_cast<unsigned>(config_.k)) - 1;
   live_count_ = config_.k;
   const auto n = static_cast<std::size_t>(config_.k);

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/assert.h"
+
 namespace netco::core {
 
 namespace {
@@ -20,6 +22,8 @@ WeightedVoteCache::WeightedVoteCache(std::size_t capacity,
                                      std::size_t per_replica_quota, int k)
     : capacity_(std::max<std::size_t>(1, capacity)),
       per_replica_quota_(per_replica_quota) {
+  NETCO_ASSERT_MSG(k >= 1 && k <= kMaxReplicas,
+                   "vote cache fleet size must fit the 64-bit replica mask");
   const std::size_t arena = capacity_;
   key_.resize(arena);
   packet_id_.resize(arena);
@@ -215,7 +219,9 @@ bool WeightedVoteCache::add_vote(Slot slot, int replica,
                                  double weight) noexcept {
   // Mirror the bounds checks in insert()/release_quota(): a replica the
   // 64-bit mask cannot represent must be rejected, not shifted into UB.
-  if (replica < 0 || replica >= 64) return false;
+  // (Config layers validate k <= kMaxReplicas up front, so hitting this
+  // means a corrupted replica id, not an oversized fleet.)
+  if (replica < 0 || replica >= kMaxReplicas) return false;
   const std::uint64_t bit = 1ULL << static_cast<unsigned>(replica);
   if ((mask_[slot] & bit) != 0) return false;
   mask_[slot] |= bit;

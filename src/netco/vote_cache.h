@@ -77,6 +77,12 @@ class WeightedVoteCache {
  public:
   using Slot = std::uint32_t;
   static constexpr Slot kNil = 0xFFFFFFFFu;
+  /// Hard fleet-size ceiling: voter sets are 64-bit replica bitmasks, so
+  /// replica ids live in [0, kMaxReplicas). Configuration layers
+  /// (CompareConfig, SoakOptions) validate against this at construction —
+  /// an oversized fleet must fail loudly up front, not as silent vote
+  /// drops deep in the fast path.
+  static constexpr int kMaxReplicas = 64;
   /// Capacity eviction scans at most this many of the oldest entries for
   /// the lowest tally — a bounded approximation of global top-k that
   /// keeps a full cache O(1) per ingest (the property test's reference

@@ -67,6 +67,24 @@ double Histogram::quantile(double q) const noexcept {
   return max_;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  NETCO_ASSERT_MSG(bounds_ == other.bounds_,
+                   "cannot merge histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
@@ -144,6 +162,15 @@ std::string MetricsRegistry::to_json() const {
   }
   out += "}}";
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, ctr] : other.counters_) {
+    counter(name).inc(ctr->value());
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histogram(name, hist->bounds()).merge_from(*hist);
+  }
 }
 
 void MetricsRegistry::reset() noexcept {

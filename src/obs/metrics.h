@@ -64,6 +64,11 @@ class Histogram {
 
   void reset() noexcept;
 
+  /// Folds another histogram's samples into this one. Both must share the
+  /// same bucket bounds (asserted). Counts/sums add; min/max widen. Used
+  /// to aggregate per-worker registries after a sharded run.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -98,6 +103,14 @@ class MetricsRegistry {
 
   /// Zeroes every instrument; registrations (and addresses) survive.
   void reset() noexcept;
+
+  /// Folds another registry into this one: counters add by name,
+  /// histograms merge by name (creating missing instruments with the
+  /// source's bounds). Merging per-worker registries in a fixed worker
+  /// order yields identical counter totals for any shard count; histogram
+  /// double sums are deterministic per shard count (float addition
+  /// reorders across pinnings).
+  void merge_from(const MetricsRegistry& other);
 
   [[nodiscard]] std::size_t counter_count() const noexcept {
     return counters_.size();

@@ -5,7 +5,7 @@
 namespace netco::obs {
 
 Observability& global() noexcept {
-  static Observability instance;
+  thread_local Observability instance;
   return instance;
 }
 

@@ -1,9 +1,14 @@
-// Process-global observability context: one Tracer + one MetricsRegistry.
+// Per-thread observability context: one Tracer + one MetricsRegistry.
 //
-// The simulator is single-threaded and benches/tests run one simulation at
-// a time, so a process-global context keeps the wiring trivial: components
-// grab their instruments at construction and the Tracer's null-sink check
-// is the entire disabled-path cost. Tests install a RingBufferSink via the
+// Each simulation shard is single-threaded and owns its whole component
+// graph, so a *thread-local* context keeps the wiring trivial: components
+// grab their instruments at construction (on the worker thread that built
+// them — sim/shard.h runs cell factories on the pinned worker) and the
+// Tracer's null-sink check is the entire disabled-path cost. For the
+// classic single-threaded harnesses nothing changes: main's context is
+// the only one that exists. Sharded harnesses merge worker registries
+// into an aggregate via MetricsRegistry::merge_from at worker exit
+// (scenario/sharded_soak.cpp). Tests install a RingBufferSink via the
 // RAII ScopedTraceSink; benches install a JSONL sink when NETCO_TRACE_OUT
 // names a file (see trace_sink_from_env()).
 #pragma once
@@ -21,11 +26,11 @@ struct Observability {
   MetricsRegistry metrics;
 };
 
-/// The process-global context.
+/// The calling thread's context (thread-local; see file comment).
 [[nodiscard]] Observability& global() noexcept;
 
-/// Installs `sink` on the global tracer for the current scope, restoring
-/// the previous sink (usually none) on destruction.
+/// Installs `sink` on the calling thread's tracer for the current scope,
+/// restoring the previous sink (usually none) on destruction.
 class ScopedTraceSink {
  public:
   explicit ScopedTraceSink(TraceSink& sink) noexcept

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/assert.h"
+
 namespace netco::obs {
 
 const char* to_string(TraceEvent event) noexcept {
@@ -79,15 +81,29 @@ JsonlFileSink::JsonlFileSink(const std::string& path) {
 }
 
 JsonlFileSink::~JsonlFileSink() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ == nullptr) return;
+  // Flush before close so a failure (ENOSPC surfacing at the final
+  // buffer drain) is distinguishable from a close error, and a cleanly
+  // destructed sink deterministically has every record on disk.
+  const bool flushed = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  NETCO_ASSERT_MSG(flushed, "trace sink: final flush failed (disk full?)");
 }
 
 void JsonlFileSink::append(const TraceRecord& record) {
   if (file_ == nullptr) return;
   const std::string line = to_json(record);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  const std::size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
+  const bool ok = wrote == line.size() && std::fputc('\n', file_) != EOF;
+  NETCO_ASSERT_MSG(ok, "trace sink: short write (disk full?)");
   ++lines_;
+}
+
+void JsonlFileSink::flush() {
+  if (file_ == nullptr) return;
+  NETCO_ASSERT_MSG(std::fflush(file_) == 0,
+                   "trace sink: flush failed (disk full?)");
 }
 
 void Tracer::emit_slow(std::int64_t at_ns, TraceEvent event,

@@ -118,6 +118,12 @@ class RingBufferSink final : public TraceSink {
 };
 
 /// JSONL file sink for benches (one canonical record per line).
+///
+/// Write errors are loud: a short fwrite (disk full, closed pipe) aborts
+/// via NETCO_ASSERT instead of silently truncating the stream — a torn
+/// final record would otherwise surface later as a baffling golden-trace
+/// mismatch rather than an I/O error. Destruction flushes and verifies
+/// the flush, so a sink that destructs cleanly has every record on disk.
 class JsonlFileSink final : public TraceSink {
  public:
   explicit JsonlFileSink(const std::string& path);
@@ -127,6 +133,9 @@ class JsonlFileSink final : public TraceSink {
   JsonlFileSink& operator=(const JsonlFileSink&) = delete;
 
   void append(const TraceRecord& record) override;
+
+  /// Flushes buffered records to the OS; asserts on failure.
+  void flush();
 
   /// False when the file could not be opened (records are then dropped).
   [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }

@@ -1,0 +1,93 @@
+// Sharded soak: many independent combiner circuits advanced in parallel
+// by a sim::ShardedSimulator, with canonical hash/metrics merging.
+//
+// Each circuit is a SoakCircuit on its own sim::Simulator (its own seed,
+// RNG streams, trace checker, and thread-local metrics registry via the
+// worker it is pinned to), so per-circuit event streams are bit-identical
+// for ANY shard count — parallelism only changes which thread interleaves
+// which circuit. The merged artifacts are canonical:
+//
+//  * merged_stream_hash / merged_egress_hash — the per-circuit hashes
+//    folded in circuit-index order (identity for a single circuit, so a
+//    1-circuit sharded run reproduces run_soak()'s hash exactly);
+//  * metrics_json — per-worker registries merged in worker-index order
+//    (counter totals are shard-count invariant; histogram double sums are
+//    deterministic per shard count, since float addition reorders).
+//
+// Optional cross-shard beacons exercise the shard-crossing machinery with
+// real link::Channel traffic (bind_remote over ShardChannels in a ring).
+// Beacon deliveries are trace-neutral by construction — no RNG draws, no
+// trace records — so they scale the cross-shard message count without
+// perturbing any circuit's protocol stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/soak.h"
+
+namespace netco::scenario {
+
+/// Parameters for a sharded fleet soak.
+struct ShardedSoakOptions {
+  /// Per-circuit template. Circuit 0 runs base.seed exactly (so a
+  /// 1-circuit run reproduces run_soak(base)); circuit i>0 runs
+  /// hash_mix(base.seed, i).
+  SoakOptions base;
+  /// Independent combiner circuits in the fleet.
+  std::size_t circuits = 1;
+  /// Worker threads (the "shards=N" knob). Never affects any hash.
+  int shards = 1;
+  /// Wire a beacon ring circuit i → (i+1) % circuits over cross-shard
+  /// channels (ignored with a single circuit).
+  bool cross_shard_beacons = false;
+  /// Beacon send period per circuit while its sender phase lasts.
+  sim::Duration beacon_period = sim::Duration::milliseconds(10);
+};
+
+/// Aggregate outcome plus every per-circuit result.
+struct ShardedSoakResult {
+  std::vector<SoakResult> circuits;  ///< indexed by circuit id
+
+  /// Canonical fold of per-circuit stream hashes (identity for one).
+  std::uint64_t merged_stream_hash = 0;
+  std::uint64_t merged_egress_hash = 0;
+
+  // Fleet-level sums over circuits.
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t delivered_unique = 0;
+  std::uint64_t compare_ingested = 0;
+  std::uint64_t compare_released = 0;
+  std::uint64_t duplicate_egress = 0;
+  std::uint64_t fault_events_applied = 0;
+
+  /// Conservative-protocol telemetry (worker-count invariant).
+  std::uint64_t rounds = 0;
+  /// Cross-shard deliveries (beacon traffic; 0 without beacons).
+  std::uint64_t cross_shard_messages = 0;
+  std::uint64_t beacons_received = 0;
+
+  /// Wall-clock of the whole fleet run (coordinator-side; the number the
+  /// shard-count sweep compares).
+  double wall_seconds = 0.0;
+  double wall_pps = 0.0;  ///< total offered datagrams / wall second
+
+  /// Per-worker registries merged in worker order.
+  std::string metrics_json;
+
+  /// True when every circuit's invariant verdict is clean.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const SoakResult& r : circuits) {
+      if (!r.invariants.ok()) return false;
+    }
+    return !circuits.empty();
+  }
+};
+
+/// Runs the fleet. Same seed + same options ⇒ identical merged hashes for
+/// every value of shards (including per-circuit stream equality with
+/// run_soak for circuit 0).
+ShardedSoakResult run_sharded_soak(const ShardedSoakOptions& options);
+
+}  // namespace netco::scenario

@@ -1,267 +1,30 @@
 #include "scenario/soak.h"
 
-#include <algorithm>
-#include <chrono>
-
-#include "common/assert.h"
-#include "faultinject/injector.h"
-#include "host/udp_app.h"
 #include "obs/observability.h"
+#include "scenario/soak_circuit.h"
 
 namespace netco::scenario {
 
-namespace {
-
-/// Expected run length for a packet budget at an offered rate, with head
-/// room for warmup, fault churn, and pacing jitter.
-sim::Duration expected_duration(const SoakOptions& options) {
-  const double pps = static_cast<double>(options.rate.bps()) /
-                     (static_cast<double>(options.payload_bytes) * 8.0);
-  const double secs = static_cast<double>(options.packets) / pps;
-  return sim::Duration::seconds_f(secs);
-}
-
-/// Forwards only the record kinds the protocol checker actually reads
-/// (everything except the hub/replica/link forwarding narration), so a
-/// perf-comparison pair is not dominated by serialize-and-hash cost that
-/// is identical on both sides anyway (see SoakOptions::protocol_trace_only).
-class ProtocolFilterSink final : public obs::TraceSink {
- public:
-  explicit ProtocolFilterSink(obs::TraceSink& downstream)
-      : downstream_(downstream) {}
-
-  void append(const obs::TraceRecord& record) override {
-    switch (record.event) {
-      case obs::TraceEvent::kHubIngress:
-      case obs::TraceEvent::kHubMerge:
-      case obs::TraceEvent::kReplicaForward:
-      case obs::TraceEvent::kLinkDrop:
-      case obs::TraceEvent::kLinkLoss:
-        return;
-      default:
-        downstream_.append(record);
-    }
-  }
-
- private:
-  obs::TraceSink& downstream_;
-};
-
-}  // namespace
-
 SoakResult run_soak(const SoakOptions& options) {
-  NETCO_ASSERT(options.packets > 0 && options.rate.positive());
-  NETCO_ASSERT_MSG(
-      !(options.sampling.enabled && options.resilience.enabled),
-      "sampled verification and warm-standby resilience are mutually "
-      "exclusive: fast-path releases bypass the standby's suppression "
-      "window (see SoakOptions::sampling)");
   obs::Observability& obs = obs::global();
   obs.metrics.reset();
 
-  // Central3/Central5 tuning, then override the soak-specific knobs.
-  topo::Figure3Options topo_options = make_options(
-      options.k >= 5 ? ScenarioKind::kCentral5 : ScenarioKind::kCentral3,
-      options.seed);
-  topo_options.combiner.k = options.k;
-  topo_options.combiner.compare.policy = options.policy;
-  // Blocks must recover: a fault plan *will* trip the flood monitors
-  // (byzantine swaps produce attributable garbage), and a permanent block
-  // of an honest replica would turn one transient into a dead replica for
-  // the rest of the soak. This also keeps the unblock timer path hot.
-  topo_options.combiner.block_duration = sim::Duration::milliseconds(50);
-  topo_options.health = options.health;
-  topo_options.combiner.compare.sampling = options.sampling;
+  // The circuit owns the whole stack (topology, checker, injector, UDP
+  // endpoints) and its window hooks encode the classic soak program:
+  // run to the cap, audit, repeat; stop + one drain window; final audit.
+  // Driving it with a plain run_until() loop here is bit-identical to the
+  // pre-refactor inline loop — the sharded harness drives the same hooks
+  // from worker threads (scenario/sharded_soak.cpp).
+  SoakCircuit circuit(options);
+  obs::ScopedTraceSink scoped(circuit.trace_sink());
 
-  SoakOptions opts = options;  // materialize the default plan
-  const sim::Duration horizon = expected_duration(options);
-  if (opts.plan.empty() && opts.inject_default_faults) {
-    faultinject::FaultPlanParams params;
-    params.k = options.k;
-    params.horizon = horizon;
-    // Short smoke runs still deserve churn: keep the quiet lead-in below
-    // a fifth of the run instead of a fixed 100 ms.
-    params.start = std::min(params.start,
-                            sim::Duration::nanoseconds(horizon.ns() / 5));
-    // With the resilience subsystem on, the default plan also kills the
-    // trusted compare once mid-run — the failure the subsystem exists for.
-    if (opts.resilience.enabled) params.compare_crashes = 1;
-    opts.plan = faultinject::FaultPlan::random(options.seed, params);
+  sim::TimePoint cap = circuit.start();
+  while (cap != SoakCircuit::done_marker()) {
+    circuit.simulator().run_until(cap);
+    cap = circuit.on_window(cap);
   }
-
-  topo::Figure3Topology topo(topo_options);
-
-  faultinject::QuorumTraceChecker::Config check_cfg;
-  check_cfg.quorum = options.k / 2 + 1;
-  check_cfg.first_copy = options.policy == core::ReleasePolicy::kFirstCopy;
-  // Adaptive mode: the checker follows health.quarantine/readmit records
-  // in the stream, so quarantine-shrunken quorums validate correctly.
-  check_cfg.k = options.k;
-  // The at-most-once egress invariant engages for resilience runs
-  // (crash-recovery and failover could double-release) and for sampled
-  // runs (the fast path and the full compare must never both release).
-  check_cfg.check_duplicates = opts.resilience.enabled ||
-                               opts.sampling.enabled;
-  faultinject::QuorumTraceChecker checker(check_cfg);
-  ProtocolFilterSink filtered(checker);
-  obs::ScopedTraceSink scoped(options.protocol_trace_only
-                                  ? static_cast<obs::TraceSink&>(filtered)
-                                  : checker);
-
-  // Construct after the topology, destroy before it (taps and timers
-  // reference the edges). Requires the compare (combine mode).
-  std::unique_ptr<resilience::ResilienceManager> resilience_mgr;
-  core::CombinerInstance& combiner_early = topo.combiner();
-  if (opts.resilience.enabled && combiner_early.compare != nullptr) {
-    resilience_mgr = std::make_unique<resilience::ResilienceManager>(
-        topo.simulator(), combiner_early, opts.resilience);
-  }
-
-  faultinject::FaultInjector injector(topo, opts.plan);
-  injector.set_resilience(resilience_mgr.get());
-  injector.arm();
-
-  host::UdpSenderConfig scfg;
-  scfg.dst_mac = topo.h2().mac();
-  scfg.dst_ip = topo.h2().ip();
-  scfg.rate = opts.rate;
-  scfg.payload_bytes = opts.payload_bytes;
-  host::UdpSender sender(topo.h1(), scfg);
-  host::UdpSink sink(topo.h2(), scfg.dst_port);
-
-  SoakResult result;
-  core::CombinerInstance& combiner = topo.combiner();
-  const auto audit_cores = [&] {
-    if (combiner.compare == nullptr) return;
-    for (const auto* edge : combiner.edges) {
-      const core::CompareCore* core =
-          combiner.compare->core_for(edge->name());
-      if (core == nullptr) continue;
-      faultinject::check_audit(core->audit(), edge->name(),
-                               result.invariants);
-    }
-    // The standby's shadow cores keep the same bookkeeping invariants.
-    for (std::size_t i = 0; i < combiner.shadow_cores.size(); ++i) {
-      faultinject::check_audit(combiner.shadow_cores[i]->audit(),
-                               "standby-" + std::to_string(i),
-                               result.invariants);
-    }
-    ++result.audits;
-  };
-
-  const auto wall_start = std::chrono::steady_clock::now();
-  sender.start();
-  // Hard stop at 8× the expected duration: the soak must terminate even
-  // if a future regression stalls the sender.
-  const sim::TimePoint deadline =
-      sim::TimePoint::origin() + horizon * 8 + sim::Duration::seconds(1);
-  // Tail-goodput window: once three quarters of the budget is offered,
-  // snapshot the counters; the tail ratio is measured past that mark. The
-  // mark lands on an audit-period boundary, so it is sim-deterministic.
-  std::uint64_t tail_sent_mark = 0;
-  std::uint64_t tail_delivered_mark = 0;
-  bool tail_marked = false;
-  while (sender.stats().datagrams_sent < opts.packets &&
-         topo.simulator().now() < deadline) {
-    topo.simulator().run_for(opts.audit_period);
-    audit_cores();
-    if (!tail_marked &&
-        sender.stats().datagrams_sent >= opts.packets - opts.packets / 4) {
-      tail_marked = true;
-      tail_sent_mark = sender.stats().datagrams_sent;
-      tail_delivered_mark = sink.report().unique_received;
-    }
-  }
-  sender.stop();
-
-  // Drain: let in-flight packets land and cached entries age out, so the
-  // checker's vote map sees every entry's terminal event.
-  const sim::Duration hold =
-      topo_options.combiner.compare.hold_timeout;
-  topo.simulator().run_for(hold * 3 + sim::Duration::milliseconds(100));
-  audit_cores();
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-
-  result.datagrams_sent = sender.stats().datagrams_sent;
-  result.delivered_unique = sink.report().unique_received;
-  if (combiner.compare != nullptr) {
-    for (const auto* edge : combiner.edges) {
-      const core::CompareStats* stats =
-          combiner.compare->stats_for(edge->name());
-      if (stats == nullptr) continue;
-      result.compare_ingested += stats->ingested;
-      result.compare_released += stats->released;
-      result.fastpath_released += stats->fastpath_released;
-      result.sampled_escalated += stats->sampled_escalated;
-    }
-  }
-  result.trace_records = checker.records_seen();
-  result.fault_events_applied = injector.applied();
-  result.sim_seconds = topo.simulator().now().since_origin().sec();
-  result.throughput_pps =
-      result.sim_seconds > 0.0
-          ? static_cast<double>(result.datagrams_sent) / result.sim_seconds
-          : 0.0;
-  result.wall_seconds = wall_seconds;
-  result.wall_pps =
-      wall_seconds > 0.0
-          ? static_cast<double>(result.datagrams_sent) / wall_seconds
-          : 0.0;
-  const obs::Histogram& verdict =
-      obs.metrics.histogram("compare.verdict_latency_us");
-  result.verdict_p50_us = verdict.quantile(0.50);
-  result.verdict_p95_us = verdict.quantile(0.95);
-  result.verdict_p99_us = verdict.quantile(0.99);
-  const std::uint64_t tail_sent =
-      result.datagrams_sent - (tail_marked ? tail_sent_mark : 0);
-  const std::uint64_t tail_delivered =
-      result.delivered_unique - (tail_marked ? tail_delivered_mark : 0);
-  result.tail_goodput_ratio =
-      tail_sent > 0
-          ? static_cast<double>(tail_delivered) / static_cast<double>(tail_sent)
-          : 0.0;
-  result.duplicate_egress = checker.duplicates();
-  if (resilience_mgr != nullptr) {
-    const resilience::ResilienceSummary rs = resilience_mgr->summary();
-    result.resilience_checkpoints = rs.checkpoints;
-    result.resilience_failovers = rs.failovers;
-    result.resilience_degraded_entries = rs.degraded_entries;
-    result.time_to_failover_ns = rs.time_to_failover_ns;
-    result.gap_loss = rs.gap_loss;
-    result.downtime_drops = rs.downtime_drops;
-    result.suppressed_recovered = rs.suppressed_recovered;
-  }
-  if (health::HealthService* health = topo.health()) {
-    const health::HealthSummary summary = health->summary();
-    result.health_quarantines = summary.quarantines;
-    result.health_readmits = summary.readmits;
-    result.health_bans = summary.bans;
-    result.health_probe_windows = summary.probe_windows;
-    result.first_quarantine_ns = summary.first_quarantine_ns;
-    result.first_readmit_ns = summary.first_readmit_ns;
-  }
-  // Detection-latency telemetry: quarantine lag behind the plan's first
-  // byzantine swap (the EXPERIMENTS.md latency-vs-throughput axis).
-  for (const faultinject::FaultEvent& ev : opts.plan.events) {
-    if (ev.kind == faultinject::FaultKind::kBehaviorSwap &&
-        ev.behavior != faultinject::SwapBehavior::kHonest) {
-      result.first_swap_ns = ev.at_ns;
-      break;
-    }
-  }
-  if (result.first_swap_ns >= 0 &&
-      result.first_quarantine_ns >= result.first_swap_ns) {
-    result.time_to_quarantine_ns =
-        result.first_quarantine_ns - result.first_swap_ns;
-  }
-  result.invariants.merge(checker.report());
-  result.stream_hash = checker.stream_hash();
-  result.egress_set_hash = checker.egress_set_hash();
-  result.metrics_json = obs.metrics.to_json();
-  return result;
+  circuit.finalize();
+  return circuit.take_result();
 }
 
 }  // namespace netco::scenario

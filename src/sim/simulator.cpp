@@ -1,13 +1,25 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace netco::sim {
 
+namespace {
+
+/// Compaction engages only past this raw heap size: small queues purge
+/// their tombstones lazily at pop for free, and a fixed floor keeps the
+/// amortized analysis trivial (a compaction of n entries is paid for by
+/// the >= n/2 cancellations that triggered it).
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
 void EventHandle::cancel() noexcept {
   if (auto slab = slab_.lock()) {
+    NETCO_DASSERT(slab->owned_by_caller());
     // The slot itself stays reserved until the tombstone pops; only the
     // liveness accounting changes here.
     if (slab->invalidate(slot_, generation_)) --slab->live;
@@ -16,7 +28,9 @@ void EventHandle::cancel() noexcept {
 
 bool EventHandle::pending() const noexcept {
   const auto slab = slab_.lock();
-  return slab != nullptr && slab->matches(slot_, generation_);
+  if (slab == nullptr) return false;
+  NETCO_DASSERT(slab->owned_by_caller());
+  return slab->matches(slot_, generation_);
 }
 
 Simulator::Simulator(std::uint64_t seed)
@@ -25,10 +39,19 @@ Simulator::Simulator(std::uint64_t seed)
 EventHandle Simulator::schedule_at(TimePoint at, Callback fn) {
   NETCO_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
   NETCO_ASSERT(static_cast<bool>(fn));
+  // Cancel-heavy workloads (probe churn, failover rewires) retire events
+  // faster than they pop: purge the debt once tombstones outnumber live
+  // events, so the raw heap stays within 2x the live population (plus the
+  // floor) no matter how hot the cancellation path runs.
+  if (queue_.size() >= kCompactionFloor &&
+      queue_.size() - slab_->live > slab_->live) {
+    compact();
+  }
   const std::uint32_t slot = slab_->acquire();
   const std::uint64_t generation = slab_->generation[slot];
   ++slab_->live;
-  queue_.push(Event{at, next_seq_++, generation, slot, std::move(fn)});
+  queue_.push_back(Event{at, next_seq_++, generation, slot, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   return EventHandle{slab_, slot, generation};
 }
 
@@ -37,22 +60,38 @@ EventHandle Simulator::schedule_after(Duration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Simulator::compact() {
+  const auto keep_end = std::remove_if(
+      queue_.begin(), queue_.end(), [this](const Event& event) {
+        if (slab_->matches(event.slot, event.generation)) return false;
+        slab_->release(event.slot);
+        return true;
+      });
+  queue_.erase(keep_end, queue_.end());
+  // (at, seq) is a total order, so the heap rebuild cannot perturb pop
+  // order: runs stay bit-identical to the lazy-purge-only build.
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  ++compactions_;
+}
+
 bool Simulator::step(TimePoint deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const Event& top = queue_.front();
     if (!slab_->matches(top.slot, top.generation)) {
       // Tombstone: cancelled while queued. Purge regardless of deadline —
       // it will never run, and draining the run now keeps the queue lean.
       const std::uint32_t slot = top.slot;
-      queue_.pop();
+      std::pop_heap(queue_.begin(), queue_.end(), Later{});
+      queue_.pop_back();
       slab_->release(slot);
       continue;
     }
     if (top.at > deadline) return false;
     // Move the event out before running: the callback may schedule more
     // events and reallocate the underlying heap.
-    Event event = std::move(const_cast<Event&>(top));
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event event = std::move(queue_.back());
+    queue_.pop_back();
     // Fired: handles must stop reporting pending, and the slot recycles.
     ++slab_->generation[event.slot];
     slab_->release(event.slot);
@@ -66,6 +105,7 @@ bool Simulator::step(TimePoint deadline) {
 }
 
 void Simulator::run() {
+  NETCO_DASSERT(slab_->owned_by_caller());
   stopped_ = false;
   while (!stopped_ && step(TimePoint::from_ns(INT64_MAX))) {
   }
@@ -73,6 +113,7 @@ void Simulator::run() {
 
 void Simulator::run_until(TimePoint deadline) {
   NETCO_ASSERT(deadline >= now_);
+  NETCO_DASSERT(slab_->owned_by_caller());
   stopped_ = false;
   while (!stopped_ && step(deadline)) {
   }

@@ -10,13 +10,23 @@
 // sim/callback.h), and cancellation is a generation counter in a slab the
 // simulator owns — an EventHandle is (slab, slot, generation), and a
 // cancelled or fired event simply stops matching its slot's generation.
-// Cancelled events stay in the priority queue as tombstones until they
-// reach the top, where they are purged without executing.
+// Cancelled events stay in the heap as tombstones until they reach the
+// top, where they are purged without executing — unless the tombstone
+// debt outgrows the live population, in which case a compaction pass
+// rebuilds the heap without them (cancel-heavy workloads like health
+// probe churn would otherwise grow the raw heap without bound).
+//
+// Threading: a Simulator is single-threaded. When it runs as a shard of a
+// ShardedSimulator (sim/shard.h) it is *owned* by one worker thread;
+// bind_owner_thread() records that owner and EventHandle operations then
+// assert (debug builds) that they run on it — an EventHandle must never
+// cross a shard boundary.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,6 +45,17 @@ struct CancelSlab {
   std::vector<std::uint64_t> generation;
   std::vector<std::uint32_t> free_slots;
   std::size_t live = 0;  ///< scheduled, not yet cancelled or fired
+  /// Owning thread when the simulator runs as a shard (sim/shard.h);
+  /// default-constructed id = unbound (single-threaded use). Atomic only
+  /// so the debug assertion itself is race-free; the slab is otherwise
+  /// strictly single-threaded.
+  std::atomic<std::thread::id> owner{std::thread::id{}};
+
+  /// Debug check: the calling thread may touch this slab.
+  [[nodiscard]] bool owned_by_caller() const noexcept {
+    const std::thread::id id = owner.load(std::memory_order_relaxed);
+    return id == std::thread::id{} || id == std::this_thread::get_id();
+  }
 
   /// Reserves a slot; its current generation labels the new event.
   std::uint32_t acquire() {
@@ -138,11 +159,32 @@ class Simulator {
     return slab_->live;
   }
 
-  /// Raw priority-queue occupancy, including cancelled tombstones that
-  /// have not bubbled up to the top yet. queue_size() - events_pending()
-  /// is the current tombstone debt.
+  /// Raw heap occupancy, including cancelled tombstones that have not
+  /// bubbled up to the top (or been compacted away) yet.
+  /// queue_size() - events_pending() is the current tombstone debt.
   [[nodiscard]] std::size_t queue_size() const noexcept {
     return queue_.size();
+  }
+
+  /// Tombstone compactions performed so far (telemetry/tests). A
+  /// compaction runs when a schedule finds the tombstone debt larger than
+  /// the live population (ratio > 1/2 of the raw heap), so cancel-heavy
+  /// workloads keep queue_size() within a constant factor of
+  /// events_pending() instead of growing without bound.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
+  /// Declares the calling thread the owner of this simulator (shard
+  /// pinning, see sim/shard.h). EventHandle::cancel()/pending() and run()
+  /// assert (debug builds) they execute on the owner once bound.
+  void bind_owner_thread() noexcept {
+    slab_->owner.store(std::this_thread::get_id(),
+                       std::memory_order_relaxed);
+  }
+  /// Removes the owner binding (the simulator is single-threaded again).
+  void unbind_owner_thread() noexcept {
+    slab_->owner.store(std::thread::id{}, std::memory_order_relaxed);
   }
 
  private:
@@ -165,11 +207,19 @@ class Simulator {
   /// the top of the queue (even past the deadline — they will never run).
   bool step(TimePoint deadline);
 
+  /// Rebuilds the heap without tombstones, returning their slots to the
+  /// free list. Triggered from schedule_at; deterministic (depends only on
+  /// the event program, never on wall time or thread scheduling).
+  void compact();
+
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary heap ordered by Later (std::push_heap/pop_heap). A raw vector
+  /// rather than std::priority_queue so compact() can rebuild it in place.
+  std::vector<Event> queue_;
   std::shared_ptr<detail::CancelSlab> slab_;
   Rng rng_;
 };

@@ -545,5 +545,16 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(pinfo.param.seed);
     });
 
+// Construction-time fleet-size validation: replica ids must fit the
+// 64-bit vote bitmask, and an out-of-range k must fail at the
+// configuration boundary, not as silent vote drops later.
+TEST(CompareCoreDeathTest, RejectsZeroK) {
+  EXPECT_DEATH(CompareCore core{CompareConfig{.k = 0}}, "k out of range");
+}
+
+TEST(CompareCoreDeathTest, RejectsOversizedFleet) {
+  EXPECT_DEATH(CompareCore core{CompareConfig{.k = 64}}, "k out of range");
+}
+
 }  // namespace
 }  // namespace netco::core

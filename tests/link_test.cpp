@@ -8,6 +8,7 @@
 #include "device/node.h"
 #include "link/link.h"
 #include "obs/observability.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace netco {
@@ -283,6 +284,59 @@ TEST(Link, InFlightPacketStillArrivesAfterCut) {
                      [&] { conn.link->set_down(true); });
   sim.run();
   EXPECT_EQ(b.arrivals.size(), 1u);  // already on the wire
+}
+
+TEST(Link, BindRemotePostsOverShardChannel) {
+  sim::Simulator sim;
+  link::LinkConfig config;
+  config.rate = DataRate::gigabits_per_sec(1);
+  config.propagation = sim::Duration::microseconds(5);
+  link::Channel tx(sim, config);
+  sim::ShardChannel shard(0, 1, config.propagation, 64);
+
+  std::vector<std::size_t> delivered;
+  tx.bind_remote(shard, [&](net::Packet packet) {
+    delivered.push_back(packet.size());
+  });
+  tx.send(frame(1500));  // 12 µs serialization + 5 µs propagation
+  sim.run();
+
+  // Nothing runs on the local event loop; the delivery sits in the
+  // cross-shard channel, stamped with the wire arrival time.
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(tx.stats().tx_packets, 1u);
+  sim::ShardChannel::Message msg;
+  ASSERT_TRUE(shard.pop(msg));
+  EXPECT_EQ(msg.deliver_ns, sim::Duration::microseconds(17).ns());
+  msg.fn();  // what the receiving shard's simulator would execute
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 1500u);
+  EXPECT_FALSE(shard.pop(msg));
+}
+
+TEST(Link, BindRemoteKeepsQueueingSemantics) {
+  // Back-to-back sends must serialize sequentially before crossing the
+  // shard boundary — remote mode changes the delivery path, not the
+  // transmitter model.
+  sim::Simulator sim;
+  link::LinkConfig config;
+  config.rate = DataRate::gigabits_per_sec(1);
+  config.propagation = sim::Duration::microseconds(1);
+  link::Channel tx(sim, config);
+  sim::ShardChannel shard(0, 1, sim::Duration::microseconds(1), 64);
+  tx.bind_remote(shard, [](net::Packet) {});
+
+  tx.send(frame(1500));  // 12 µs on the wire
+  tx.send(frame(1500));  // queued behind the first
+  sim.run();
+
+  sim::ShardChannel::Message first;
+  sim::ShardChannel::Message second;
+  ASSERT_TRUE(shard.pop(first));
+  ASSERT_TRUE(shard.pop(second));
+  EXPECT_EQ(first.deliver_ns, sim::Duration::microseconds(13).ns());
+  EXPECT_EQ(second.deliver_ns, sim::Duration::microseconds(25).ns());
+  EXPECT_LT(first.seq, second.seq);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/headers.h"
 #include "netco/compare_core.h"
 #include "resilience/checkpoint.h"
@@ -204,6 +205,51 @@ TEST(Checkpoint, TornStatsLineRejectedWhole) {
   std::string garbled = text;
   garbled[eol - 1] = 'x';  // last counter becomes non-numeric
   EXPECT_FALSE(parse_snapshot(garbled).has_value());
+}
+
+TEST(Checkpoint, MutationFuzzNeverCrashesAndStaysConsistent) {
+  // Random byte mutations, truncations and line splices over a valid
+  // checkpoint: the parser must never crash, and whenever it does accept
+  // an input, re-serializing the result must itself parse (the writer and
+  // parser stay closed under each other — the property the per-shard
+  // snapshot merge leans on).
+  core::CompareSnapshot snap = populated_core().snapshot(at_ms(7));
+  snap.stats.fastpath_ingested = 41;
+  snap.stats.sampled_escalated = 3;
+  const std::string text = serialize_snapshot(snap);
+  Rng rng(0xC0DEC);
+
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = text;
+    switch (rng.uniform_u64(3)) {
+      case 0: {  // flip 1-4 bytes to arbitrary values
+        const int flips = 1 + static_cast<int>(rng.uniform_u64(4));
+        for (int f = 0; f < flips; ++f) {
+          mutated[rng.uniform_u64(mutated.size())] =
+              static_cast<char>(rng.uniform_u64(256));
+        }
+        break;
+      }
+      case 1:  // torn write: truncate at an arbitrary byte
+        mutated.resize(rng.uniform_u64(mutated.size()));
+        break;
+      default: {  // splice: duplicate one line over another
+        const std::size_t a = rng.uniform_u64(mutated.size());
+        const std::size_t from = mutated.rfind('\n', a);
+        const std::size_t to = mutated.find('\n', a);
+        if (to != std::string::npos) {
+          const std::size_t begin = from == std::string::npos ? 0 : from + 1;
+          mutated.insert(begin, mutated.substr(begin, to - begin + 1));
+        }
+        break;
+      }
+    }
+    const auto parsed = parse_snapshot(mutated);
+    if (parsed.has_value()) {
+      EXPECT_TRUE(parse_snapshot(serialize_snapshot(*parsed)).has_value())
+          << "accepted input re-serialized into a rejected checkpoint";
+    }
+  }
 }
 
 // --- restore semantics -----------------------------------------------------

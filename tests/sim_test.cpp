@@ -247,5 +247,67 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   EXPECT_EQ(sim.now().ns(), 0);
 }
 
+TEST(Simulator, CancelStormKeepsQueueBounded) {
+  Simulator sim;
+  // Probe-churn workload: a core of long-lived events, then thousands of
+  // schedule+cancel cycles against far-future deadlines (health probes
+  // being rewired). Without threshold compaction the raw heap grows with
+  // the total cancel count; with it, queue_size() must stay within a
+  // constant factor of the live population.
+  std::vector<EventHandle> live;
+  for (int i = 0; i < 32; ++i) {
+    live.push_back(sim.schedule_after(Duration::seconds(3600 + i), [] {}));
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::vector<EventHandle> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(sim.schedule_after(Duration::seconds(60 + i), [] {}));
+    }
+    for (auto& handle : batch) handle.cancel();
+  }
+  EXPECT_GE(sim.compactions(), 1u) << "cancel storm never tripped compaction";
+  EXPECT_EQ(sim.events_pending(), 32u);
+  // Bound: live population doubled, plus the engagement floor.
+  EXPECT_LE(sim.queue_size(), 2 * sim.events_pending() + 64)
+      << "tombstone debt grew without bound";
+}
+
+TEST(Simulator, CompactionPreservesExecutionOrder) {
+  // The same interleaved schedule/cancel program with the storm that
+  // forces compactions must execute surviving events in the identical
+  // (time, scheduling order) sequence as a quiet run.
+  const auto program = [](Simulator& sim, bool storm) {
+    std::vector<int> order;
+    std::vector<EventHandle> doomed;
+    for (int i = 0; i < 40; ++i) {
+      // Same-instant pairs to exercise the seq tie-break across rebuilds.
+      sim.schedule_after(Duration::milliseconds(1 + i / 2),
+                         [&order, i] { order.push_back(i); });
+      doomed.push_back(
+          sim.schedule_after(Duration::milliseconds(5 + i), [] {}));
+    }
+    for (auto& handle : doomed) handle.cancel();
+    if (storm) {
+      for (int round = 0; round < 50; ++round) {
+        std::vector<EventHandle> batch;
+        for (int i = 0; i < 80; ++i) {
+          batch.push_back(sim.schedule_after(Duration::seconds(9), [] {}));
+        }
+        for (auto& handle : batch) handle.cancel();
+      }
+    }
+    sim.run();
+    return std::make_pair(order, sim.compactions());
+  };
+  Simulator quiet;
+  Simulator stormy;
+  const auto [quiet_order, quiet_compactions] = program(quiet, false);
+  const auto [storm_order, storm_compactions] = program(stormy, true);
+  EXPECT_EQ(quiet_compactions, 0u);
+  EXPECT_GE(storm_compactions, 1u);
+  EXPECT_EQ(quiet_order, storm_order)
+      << "heap rebuild perturbed the (at, seq) pop order";
+}
+
 }  // namespace
 }  // namespace netco::sim

@@ -72,5 +72,19 @@ TEST(SoakSmoke, HealthLoopRunIsBitReproducible) {
   EXPECT_EQ(a.first_readmit_ns, b.first_readmit_ns);
 }
 
+// Configuration validation happens at harness construction, with full
+// context, instead of surfacing later as silent vote drops.
+TEST(SoakSmokeDeathTest, RejectsOversizedFleet) {
+  SoakOptions options = smoke_options();
+  options.k = 64;
+  EXPECT_DEATH(run_soak(options), "SoakOptions.k out of range");
+}
+
+TEST(SoakSmokeDeathTest, RejectsEmptyRun) {
+  SoakOptions options = smoke_options();
+  options.packets = 0;
+  EXPECT_DEATH(run_soak(options), "NETCO_ASSERT failed");
+}
+
 }  // namespace
 }  // namespace netco::scenario

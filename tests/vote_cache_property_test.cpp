@@ -409,5 +409,11 @@ TEST(VoteCacheProperty, MatchesModelWithoutQuotaPressure) {
            /*ops=*/20000);
 }
 
+TEST(VoteCacheDeathTest, RejectsFleetBeyondReplicaMask) {
+  EXPECT_DEATH(WeightedVoteCache(16, 4, 0), "64-bit replica mask");
+  EXPECT_DEATH(WeightedVoteCache(16, 4, WeightedVoteCache::kMaxReplicas + 1),
+               "64-bit replica mask");
+}
+
 }  // namespace
 }  // namespace netco::core
