@@ -14,8 +14,10 @@
 //                            one JSON line on stdout after the table)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
 
@@ -52,6 +54,205 @@ struct BenchScale {
 /// Prints the standard bench header.
 inline void print_header(const char* figure, const char* caption) {
   std::printf("\n=== NetCo reproduction — %s ===\n%s\n\n", figure, caption);
+}
+
+/// Unsigned env knob with a fallback (empty counts as unset).
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name); env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+/// 16-digit hex rendering of a stream/egress hash.
+inline std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// --- BENCH_soak.json section merging ---------------------------------------
+//
+// BENCH_soak.json is a single JSON object owned by soak_netco (the base
+// members) into which other benches append named sections ("datacenter",
+// "workload"). Re-running any bench must replace only its own piece and
+// leave the rest intact, in any run order — the helpers below are that
+// idempotent merge, shared so the scanners don't fork per bench.
+
+/// Reads a whole file into a string ("" when absent).
+inline std::string read_text_file(const char* path) {
+  std::string text;
+  if (std::FILE* f = std::fopen(path, "r")) {
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+      text.append(chunk, n);
+    }
+    std::fclose(f);
+  }
+  return text;
+}
+
+/// Skips one JSON value (object/array/string/scalar) starting at or after
+/// `pos`; returns the index one past its end. String-aware, so braces and
+/// commas inside quoted values never confuse the depth count.
+inline std::size_t skip_json_value(const std::string& doc, std::size_t pos) {
+  auto skip_ws = [&](std::size_t p) {
+    while (p < doc.size() &&
+           (doc[p] == ' ' || doc[p] == '\n' || doc[p] == '\t' ||
+            doc[p] == '\r')) {
+      ++p;
+    }
+    return p;
+  };
+  auto skip_string = [&](std::size_t p) {  // p points at the opening quote
+    ++p;
+    while (p < doc.size()) {
+      if (doc[p] == '\\') {
+        p += 2;
+      } else if (doc[p] == '"') {
+        return p + 1;
+      } else {
+        ++p;
+      }
+    }
+    return p;
+  };
+  pos = skip_ws(pos);
+  if (pos >= doc.size()) return pos;
+  const char c = doc[pos];
+  if (c == '"') return skip_string(pos);
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    while (pos < doc.size()) {
+      const char d = doc[pos];
+      if (d == '"') {
+        pos = skip_string(pos);
+        continue;
+      }
+      if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        if (--depth == 0) return pos + 1;
+      }
+      ++pos;
+    }
+    return pos;
+  }
+  // Scalar: number / true / false / null.
+  while (pos < doc.size() && doc[pos] != ',' && doc[pos] != '}' &&
+         doc[pos] != ']' && doc[pos] != ' ' && doc[pos] != '\n') {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Locates the top-level member `"name":<value>` of the document's root
+/// object. On success sets [*begin, *end) to cover the member *and* its
+/// preceding comma (sections are never the first member), so erasing the
+/// range removes the member cleanly.
+inline bool find_bench_section(const std::string& doc, const std::string& name,
+                               std::size_t* begin, std::size_t* end) {
+  std::size_t pos = doc.find('{');
+  if (pos == std::string::npos) return false;
+  ++pos;
+  std::size_t prev_comma = std::string::npos;
+  while (true) {
+    while (pos < doc.size() &&
+           (doc[pos] == ' ' || doc[pos] == '\n' || doc[pos] == '\t' ||
+            doc[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= doc.size() || doc[pos] != '"') return false;
+    const std::size_t key_start = pos + 1;
+    const std::size_t key_end = skip_json_value(doc, pos);  // past closing "
+    if (key_end == std::string::npos || key_end <= key_start) return false;
+    const std::string key = doc.substr(key_start, key_end - 1 - key_start);
+    pos = key_end;
+    while (pos < doc.size() && doc[pos] != ':') ++pos;
+    if (pos >= doc.size()) return false;
+    const std::size_t value_end = skip_json_value(doc, pos + 1);
+    if (key == name) {
+      *begin = prev_comma != std::string::npos ? prev_comma
+                                               : key_start - 1;
+      *end = value_end;
+      return true;
+    }
+    pos = value_end;
+    while (pos < doc.size() &&
+           (doc[pos] == ' ' || doc[pos] == '\n' || doc[pos] == '\t' ||
+            doc[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= doc.size() || doc[pos] != ',') return false;
+    prev_comma = pos;
+    ++pos;
+  }
+}
+
+/// Writes `doc` to `path` with a trailing newline (stdout fallback when
+/// the file cannot be opened, so the data is never silently lost).
+inline void write_bench_file(const char* path, const std::string& doc) {
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", doc.c_str());
+    std::fclose(f);
+  } else {
+    std::printf("\n%s\n", doc.c_str());
+  }
+}
+
+/// Replaces-or-appends the named top-level section of the JSON object at
+/// `path`. Idempotent: re-running a bench updates its own section in place
+/// and leaves every other member (base or sibling section) untouched.
+/// Starts a minimal base object when the file is missing or unparseable.
+inline void merge_bench_section(const char* path, const std::string& name,
+                                const std::string& section_json) {
+  std::string doc = read_text_file(path);
+  const std::string member = "\"" + name + "\":" + section_json;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string out;
+  if (find_bench_section(doc, name, &begin, &end)) {
+    const bool keeps_comma = doc[begin] == ',';
+    out = doc.substr(0, begin) + (keeps_comma ? "," : "") + member +
+          doc.substr(end);
+  } else if (const std::size_t brace = doc.rfind('}');
+             brace != std::string::npos) {
+    out = doc.substr(0, brace);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += "," + member + "}";
+  } else {
+    out = "{\"bench\":\"soak\"," + member + "}";
+  }
+  while (!out.empty() && out.back() == '\n') out.pop_back();
+  write_bench_file(path, out);
+}
+
+/// Overwrites the base object at `path` (the members soak_netco owns)
+/// while carrying over the listed appended sections from the existing
+/// file, so regenerating the base never clobbers sibling benches' output.
+inline void write_bench_base(
+    const char* path, const std::string& base_object_json,
+    std::initializer_list<const char*> preserved = {"datacenter",
+                                                    "workload"}) {
+  const std::string doc = read_text_file(path);
+  std::string carried;
+  for (const char* name : preserved) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (find_bench_section(doc, name, &begin, &end)) {
+      std::string piece = doc.substr(begin, end - begin);
+      if (!piece.empty() && piece[0] != ',') piece.insert(piece.begin(), ',');
+      carried += piece;
+    }
+  }
+  const std::size_t brace = base_object_json.rfind('}');
+  NETCO_ASSERT_MSG(brace != std::string::npos,
+                   "bench base summary is not a JSON object");
+  write_bench_file(path,
+                   base_object_json.substr(0, brace) + carried + "}");
 }
 
 /// Per-bench observability session: installs the JSONL trace sink when

@@ -35,18 +35,8 @@ namespace {
 
 using namespace netco;
 
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  if (const char* env = std::getenv(name); env != nullptr && *env != '\0') {
-    return std::strtoull(env, nullptr, 10);
-  }
-  return fallback;
-}
-
-std::string hash_hex(std::uint64_t h) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
-  return buf;
-}
+using bench::env_u64;
+using bench::hash_hex;
 
 /// The BENCH_soak baseline circuits (soak_netco.cpp keeps the canonical
 /// copies of these configs and their recorded stream hashes).
@@ -60,43 +50,6 @@ scenario::SoakOptions baseline_config(int k, core::ReleasePolicy policy,
   options.packets = packets;
   options.rate = DataRate::megabits_per_sec(rate_mbps);
   return options;
-}
-
-/// Replaces BENCH_soak.json's "datacenter" section (or starts a fresh
-/// file when soak_netco has not written one yet). The section is always
-/// the last member before the closing brace, so replacement is a
-/// truncate-and-append.
-void merge_into_bench_json(const char* path, const std::string& section) {
-  std::string existing;
-  if (std::FILE* f = std::fopen(path, "r")) {
-    char chunk[4096];
-    std::size_t n = 0;
-    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
-      existing.append(chunk, n);
-    }
-    std::fclose(f);
-  }
-  std::string out;
-  const std::size_t marker = existing.find(",\"datacenter\":");
-  const std::size_t brace = existing.rfind('}');
-  if (marker != std::string::npos) {
-    out = existing.substr(0, marker);
-  } else if (brace != std::string::npos) {
-    out = existing.substr(0, brace);
-    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
-      out.pop_back();
-    }
-  } else {
-    out = "{\"bench\":\"soak\"";
-  }
-  out += ",\"datacenter\":" + section + "}";
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fprintf(f, "%s\n", out.c_str());
-    std::fclose(f);
-    std::printf("\nDatacenter sweep recorded in %s\n", path);
-  } else {
-    std::printf("\n%s\n", out.c_str());
-  }
 }
 
 bool run_case_study_table() {
@@ -300,7 +253,8 @@ int main() {
 
   const char* out_path = std::getenv("NETCO_SOAK_OUT");
   if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_soak.json";
-  merge_into_bench_json(out_path, section);
+  netco::bench::merge_bench_section(out_path, "datacenter", section);
+  std::printf("\nDatacenter sweep recorded in %s\n", out_path);
 
   std::printf("\nDatacenter fleet verdict: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;

@@ -20,6 +20,7 @@
 #include "netco/compare_core.h"
 #include "resilience/resilience.h"
 #include "scenario/scenarios.h"
+#include "workload/config.h"
 
 namespace netco::scenario {
 
@@ -59,6 +60,12 @@ struct SoakOptions {
   /// synchronously at the edge, invisible to a warm standby's suppression
   /// window, so the combination would break at-most-once egress.
   core::CompareSampling sampling;
+  /// Flow-level workload engine (src/workload). When enabled, the circuit
+  /// replaces the single iperf-like UDP stream with a population of
+  /// sessions (Poisson arrivals, Pareto flow sizes, scenario-shaped rate)
+  /// driven off a hierarchical timer wheel; `packets` and `rate` are then
+  /// ignored and the run length is workload.duration plus the drain.
+  workload::WorkloadConfig workload;
   /// Feed the invariant checker only the protocol-relevant records
   /// (compare.*, health.*, resilience.*), skipping the per-record
   /// serialize-and-hash cost of the forwarding narration (hub.*,
@@ -123,6 +130,27 @@ struct SoakResult {
   /// swap in the plan / quarantine never happened / happened before it).
   std::int64_t first_swap_ns = -1;
   std::int64_t time_to_quarantine_ns = -1;
+  /// Workload-engine outcome (all zero while SoakOptions::workload is
+  /// disabled). Offered/delivered mirror datagrams_sent/delivered_unique;
+  /// the extra fields are the flow-level story a single stream lacks.
+  std::uint64_t wl_sessions_started = 0;
+  std::uint64_t wl_sessions_finished = 0;
+  std::uint64_t wl_flows_started = 0;
+  std::uint64_t wl_flows_completed = 0;
+  std::uint64_t wl_flows_aborted = 0;
+  std::uint64_t wl_retransmit_packets = 0;
+  std::uint64_t wl_packets_stale = 0;
+  std::uint64_t wl_pool_exhausted = 0;
+  std::uint64_t wl_admission_waits = 0;
+  std::uint64_t wl_pool_peak_live = 0;
+  std::uint64_t wl_timer_scheduled = 0;
+  std::uint64_t wl_timer_fired = 0;
+  std::uint64_t wl_timer_cancelled = 0;
+  std::uint64_t wl_ddos_emitted = 0;
+  /// Flow-completion-time percentiles (ms) from "workload.fct_ms".
+  double wl_fct_p50_ms = 0.0;
+  double wl_fct_p95_ms = 0.0;
+  double wl_fct_p99_ms = 0.0;
   /// Merged verdict of the trace checker and every cache audit.
   faultinject::InvariantReport invariants;
   /// FNV-1a over the canonical trace stream (determinism fingerprint).

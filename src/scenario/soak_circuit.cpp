@@ -12,8 +12,10 @@ namespace netco::scenario {
 namespace {
 
 /// Expected run length for a packet budget at an offered rate, with head
-/// room for warmup, fault churn, and pacing jitter.
+/// room for warmup, fault churn, and pacing jitter. In workload mode the
+/// arrival phase length is configured directly.
 sim::Duration expected_duration(const SoakOptions& options) {
+  if (options.workload.enabled) return options.workload.duration;
   const double pps = static_cast<double>(options.rate.bps()) /
                      (static_cast<double>(options.payload_bytes) * 8.0);
   const double secs = static_cast<double>(options.packets) / pps;
@@ -107,6 +109,28 @@ SoakCircuit::SoakCircuit(const SoakOptions& options)
   injector_->set_resilience(resilience_mgr_.get());
   injector_->arm();
 
+  if (opts_.workload.enabled) {
+    // The engine replaces the single-stream endpoints. The DDoS-burst
+    // scenario floods from replica 0 toward the h2-side edge (s2), so the
+    // forged copies arrive at one compare core with no sibling quorum —
+    // the flood/health machinery is the defense under test.
+    std::optional<workload::DdosHook> hook;
+    if (opts_.workload.scenario == workload::Scenario::kDdosBurst) {
+      NETCO_ASSERT_MSG(!combiner.replicas.empty(),
+                       "ddos-burst workload needs a combiner replica");
+      workload::DdosHook h;
+      h.datapath = combiner.replicas[0];
+      h.config.out_port = combiner.replica_edge_port[0][1];
+      h.config.packets_per_sec = opts_.workload.ddos_packets_per_sec;
+      h.config.packet_bytes = opts_.workload.ddos_packet_bytes;
+      h.config.dst_mac = topo_->h2().mac();
+      h.config.src_mac = topo_->h1().mac();
+      hook = h;
+    }
+    engine_ = std::make_unique<workload::WorkloadEngine>(
+        topo_->h1(), topo_->h2(), opts_.workload, opts_.seed, hook);
+    return;
+  }
   host::UdpSenderConfig scfg;
   scfg.dst_mac = topo_->h2().mac();
   scfg.dst_ip = topo_->h2().ip();
@@ -137,11 +161,16 @@ void SoakCircuit::audit_cores() {
 
 sim::TimePoint SoakCircuit::start() {
   wall_start_ = std::chrono::steady_clock::now();
-  sender_->start();
+  if (engine_ != nullptr) {
+    engine_->start();
+  } else {
+    sender_->start();
+  }
   return topo_->simulator().now() + opts_.audit_period;
 }
 
 sim::TimePoint SoakCircuit::on_window(sim::TimePoint committed) {
+  if (engine_ != nullptr) return on_workload_window(committed);
   switch (phase_) {
     case Phase::kSending: {
       audit_cores();
@@ -175,6 +204,55 @@ sim::TimePoint SoakCircuit::on_window(sim::TimePoint committed) {
       phase_ = Phase::kDone;
       return done_marker();
     }
+    case Phase::kSettling:
+    case Phase::kDone:
+      break;
+  }
+  return done_marker();
+}
+
+sim::TimePoint SoakCircuit::on_workload_window(sim::TimePoint committed) {
+  switch (phase_) {
+    case Phase::kSending: {
+      audit_cores();
+      // Tail mark at three quarters of the arrival phase (a window
+      // boundary, so sim-deterministic like the classic path's mark).
+      if (!tail_marked_ &&
+          committed.since_origin().ns() >= horizon_.ns() - horizon_.ns() / 4) {
+        tail_marked_ = true;
+        tail_sent_mark_ = engine_->stats().packets_offered;
+        tail_delivered_mark_ = engine_->stats().packets_delivered;
+      }
+      if (committed.since_origin() < horizon_ && committed < deadline_) {
+        return committed + opts_.audit_period;
+      }
+      engine_->begin_drain();
+      phase_ = Phase::kDraining;
+      return committed + opts_.audit_period;
+    }
+    case Phase::kDraining: {
+      audit_cores();
+      // Active flows run to completion or abort; poll window-by-window.
+      // The deadline bounds the drain even if a future regression wedges
+      // a flow (retries are finite, so this only trips on bugs).
+      if (!engine_->idle() && committed < deadline_) {
+        return committed + opts_.audit_period;
+      }
+      phase_ = Phase::kSettling;
+      // Let in-flight packets land and compare entries age out so the
+      // checker's vote map sees every entry's terminal event.
+      const sim::Duration hold = topo_options_.combiner.compare.hold_timeout;
+      return committed + hold * 3 + sim::Duration::milliseconds(100);
+    }
+    case Phase::kSettling: {
+      audit_cores();
+      result_.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start_)
+              .count();
+      phase_ = Phase::kDone;
+      return done_marker();
+    }
     case Phase::kDone:
       break;
   }
@@ -183,8 +261,34 @@ sim::TimePoint SoakCircuit::on_window(sim::TimePoint committed) {
 
 void SoakCircuit::finalize() {
   NETCO_ASSERT_MSG(phase_ == Phase::kDone, "finalize() before the drain");
-  result_.datagrams_sent = sender_->stats().datagrams_sent;
-  result_.delivered_unique = sink_->report().unique_received;
+  if (engine_ != nullptr) {
+    const workload::WorkloadStats& ws = engine_->stats();
+    result_.datagrams_sent = ws.packets_offered;
+    result_.delivered_unique = ws.packets_delivered;
+    result_.wl_sessions_started = ws.sessions_started;
+    result_.wl_sessions_finished = ws.sessions_finished;
+    result_.wl_flows_started = ws.flows_started;
+    result_.wl_flows_completed = ws.flows_completed;
+    result_.wl_flows_aborted = ws.flows_aborted;
+    result_.wl_retransmit_packets = ws.retransmit_packets;
+    result_.wl_packets_stale = ws.packets_stale;
+    result_.wl_pool_exhausted = ws.pool_exhausted;
+    result_.wl_admission_waits = ws.admission_waits;
+    result_.wl_pool_peak_live = engine_->pool().peak_live();
+    result_.wl_timer_scheduled = engine_->wheel().scheduled();
+    result_.wl_timer_fired = engine_->wheel().fired();
+    result_.wl_timer_cancelled = engine_->wheel().cancelled();
+    result_.wl_ddos_emitted = engine_->ddos_emitted();
+    engine_->export_metrics();
+    const obs::Histogram& fct = obs::global().metrics.histogram(
+        "workload.fct_ms");
+    result_.wl_fct_p50_ms = fct.quantile(0.50);
+    result_.wl_fct_p95_ms = fct.quantile(0.95);
+    result_.wl_fct_p99_ms = fct.quantile(0.99);
+  } else {
+    result_.datagrams_sent = sender_->stats().datagrams_sent;
+    result_.delivered_unique = sink_->report().unique_received;
+  }
   core::CombinerInstance& combiner = topo_->combiner();
   if (combiner.compare != nullptr) {
     for (const auto* edge : combiner.edges) {

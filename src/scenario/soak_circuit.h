@@ -24,6 +24,7 @@
 #include "resilience/resilience.h"
 #include "scenario/soak.h"
 #include "topo/figure3.h"
+#include "workload/engine.h"
 
 namespace netco::scenario {
 
@@ -99,9 +100,14 @@ class SoakCircuit {
   }
 
  private:
-  enum class Phase { kSending, kDraining, kDone };
+  /// kSettling exists only in workload mode: after the engine's pool has
+  /// emptied, one extra window lets the compare caches age out before the
+  /// final audit (the classic path folds this into kDraining's fixed
+  /// hold-based window).
+  enum class Phase { kSending, kDraining, kSettling, kDone };
 
   void audit_cores();
+  sim::TimePoint on_workload_window(sim::TimePoint committed);
 
   // Declaration order mirrors run_soak()'s stack: the topology outlives
   // the checker, which outlives the resilience taps and injector, which
@@ -116,6 +122,8 @@ class SoakCircuit {
   std::unique_ptr<faultinject::FaultInjector> injector_;
   std::unique_ptr<host::UdpSender> sender_;
   std::unique_ptr<host::UdpSink> sink_;
+  /// Workload mode (opts_.workload.enabled): replaces sender_/sink_.
+  std::unique_ptr<workload::WorkloadEngine> engine_;
 
   SoakResult result_;
   std::chrono::steady_clock::time_point wall_start_;

@@ -1,0 +1,323 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace netco::sim {
+
+TimerWheel::TimerWheel(Simulator& simulator, TimerWheelConfig config)
+    : sim_(simulator),
+      tick_ns_(static_cast<std::uint64_t>(config.tick.ns())) {
+  NETCO_ASSERT_MSG(config.tick.ns() >= 1, "TimerWheel tick must be >= 1 ns");
+  head_.fill(kNil);
+  now_tick_ = static_cast<std::uint64_t>(sim_.now().ns()) / tick_ns_;
+}
+
+TimerWheel::~TimerWheel() { anchor_.cancel(); }
+
+std::uint64_t TimerWheel::due_tick_of(std::int64_t deadline_ns) const noexcept {
+  // Round up: a timer never fires before its raw deadline.
+  const auto ns = static_cast<std::uint64_t>(deadline_ns);
+  return (ns + tick_ns_ - 1) / tick_ns_;
+}
+
+TimerWheel::TimerId TimerWheel::schedule_at(TimePoint at, TimerFn fn,
+                                            void* ctx, std::uint64_t arg) {
+  NETCO_ASSERT(at >= sim_.now());
+  return do_schedule(at.ns(), fn, ctx, arg);
+}
+
+TimerWheel::TimerId TimerWheel::schedule_after(Duration delay, TimerFn fn,
+                                               void* ctx, std::uint64_t arg) {
+  NETCO_ASSERT(delay.ns() >= 0);
+  return do_schedule(sim_.now().ns() + delay.ns(), fn, ctx, arg);
+}
+
+TimerWheel::TimerId TimerWheel::do_schedule(std::int64_t deadline_ns,
+                                            TimerFn fn, void* ctx,
+                                            std::uint64_t arg) {
+  NETCO_ASSERT(fn != nullptr);
+  NETCO_DASSERT(deadline_ns >= 0);
+  // Between anchors the wheel position lags simulated time; while the
+  // wheel is empty that lag is unobservable, so resync to the present —
+  // otherwise delta magnitudes (and thus level choice) would degrade for
+  // a wheel idle for a long stretch.
+  if (active_ == 0) {
+    now_tick_ = static_cast<std::uint64_t>(sim_.now().ns()) / tick_ns_;
+  }
+  std::uint64_t due = due_tick_of(deadline_ns);
+  // A due-now (or intra-tick) deadline rounds to the next tick boundary:
+  // never early, at most one tick late.
+  if (due <= now_tick_) due = now_tick_ + 1;
+
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    NETCO_ASSERT_MSG(records_.size() < kNil, "timer slab exhausted");
+    index = static_cast<std::uint32_t>(records_.size());
+    records_.emplace_back();
+  }
+  Record& record = records_[index];
+  record.deadline_ns = deadline_ns;
+  record.seq = next_seq_++;
+  record.fn = fn;
+  record.ctx = ctx;
+  record.arg = arg;
+  place(index, due);
+  ++active_;
+  ++scheduled_;
+
+  if (!anchor_armed_ || due < anchor_tick_) arm_anchor(due);
+  return (static_cast<std::uint64_t>(record.gen) << 32) | index;
+}
+
+void TimerWheel::place(std::uint32_t index, std::uint64_t due_tick) {
+  Record& record = records_[index];
+  const std::uint64_t delta = due_tick - now_tick_;
+  std::uint16_t bucket;
+  if (delta < kSlots) {
+    bucket = static_cast<std::uint16_t>(due_tick & kSlotMask);
+  } else if (delta < (1ULL << 16)) {
+    bucket = static_cast<std::uint16_t>(kSlots + ((due_tick >> 8) & kSlotMask));
+  } else if (delta < (1ULL << 24)) {
+    bucket =
+        static_cast<std::uint16_t>(2 * kSlots + ((due_tick >> 16) & kSlotMask));
+  } else if (delta < (1ULL << 32)) {
+    bucket =
+        static_cast<std::uint16_t>(3 * kSlots + ((due_tick >> 24) & kSlotMask));
+  } else {
+    bucket = kOverflowBucket;
+    ++overflow_count_;
+  }
+  record.bucket = bucket;
+  record.prev = kNil;
+  record.next = head_[bucket];
+  if (head_[bucket] != kNil) records_[head_[bucket]].prev = index;
+  head_[bucket] = index;
+  if (bucket != kOverflowBucket) {
+    const std::uint64_t slot = bucket & kSlotMask;
+    bits_[bucket >> kSlotBits][slot >> 6] |= 1ULL << (slot & 63);
+  }
+}
+
+void TimerWheel::unlink(std::uint32_t index) noexcept {
+  Record& record = records_[index];
+  const std::uint16_t bucket = record.bucket;
+  if (record.prev != kNil) {
+    records_[record.prev].next = record.next;
+  } else {
+    head_[bucket] = record.next;
+  }
+  if (record.next != kNil) records_[record.next].prev = record.prev;
+  if (bucket == kOverflowBucket) {
+    --overflow_count_;
+  } else if (head_[bucket] == kNil) {
+    const std::uint64_t slot = bucket & kSlotMask;
+    bits_[bucket >> kSlotBits][slot >> 6] &= ~(1ULL << (slot & 63));
+  }
+}
+
+void TimerWheel::release(std::uint32_t index) noexcept {
+  Record& record = records_[index];
+  record.bucket = kNoBucket;
+  ++record.gen;  // stale TimerIds stop matching
+  free_.push_back(index);
+  --active_;
+}
+
+std::uint32_t TimerWheel::detach_bucket(std::uint16_t bucket) noexcept {
+  const std::uint32_t node = head_[bucket];
+  head_[bucket] = kNil;
+  if (bucket != kOverflowBucket) {
+    const std::uint64_t slot = bucket & kSlotMask;
+    bits_[bucket >> kSlotBits][slot >> 6] &= ~(1ULL << (slot & 63));
+  }
+  return node;
+}
+
+bool TimerWheel::cancel(TimerId id) noexcept {
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (index >= records_.size()) return false;
+  Record& record = records_[index];
+  if (record.gen != gen || record.bucket == kNoBucket) return false;
+  unlink(index);
+  release(index);
+  ++cancelled_;
+  // The anchor is left alone: if its tick is no longer interesting it
+  // fires as a no-op and re-arms — O(1) cancel beats eager rescans.
+  return true;
+}
+
+bool TimerWheel::pending(TimerId id) const noexcept {
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (index >= records_.size()) return false;
+  const Record& record = records_[index];
+  return record.gen == gen && record.bucket != kNoBucket;
+}
+
+std::uint64_t TimerWheel::next_slot_distance(int level,
+                                             std::uint64_t from)
+    const noexcept {
+  const auto& words = bits_[static_cast<std::size_t>(level)];
+  if ((words[0] | words[1] | words[2] | words[3]) == 0) return 0;
+  // Scan the circular positions from+1 .. from+256 word by word; the
+  // lowest set bit of the first non-empty (masked) word is the nearest
+  // slot. Distance 256 (the `from` slot itself) is a valid answer for
+  // levels >= 1: a full revolution away.
+  const std::uint64_t start = (from + 1) & kSlotMask;
+  const std::uint64_t start_bit = start & 63;
+  for (int step = 0; step <= 4; ++step) {
+    const std::uint64_t wi =
+        ((start >> 6) + static_cast<std::uint64_t>(step)) & 3;
+    std::uint64_t w = words[wi];
+    if (step == 0 && start_bit != 0) w &= ~0ULL << start_bit;
+    if (step == 4) {
+      if (start_bit == 0) break;
+      w &= (1ULL << start_bit) - 1;
+    }
+    if (w != 0) {
+      const std::uint64_t slot =
+          (wi << 6) + static_cast<std::uint64_t>(std::countr_zero(w));
+      return ((slot - from - 1) & kSlotMask) + 1;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t TimerWheel::next_interesting_tick() const noexcept {
+  std::uint64_t best = kNoTick;
+  const std::uint64_t d0 = next_slot_distance(0, now_tick_ & kSlotMask);
+  if (d0 != 0) best = now_tick_ + d0;
+  for (int level = 1; level < kLevels; ++level) {
+    const auto shift = static_cast<std::uint64_t>(kSlotBits * level);
+    const std::uint64_t cur = (now_tick_ >> shift) & kSlotMask;
+    const std::uint64_t d = next_slot_distance(level, cur);
+    if (d != 0) {
+      // The earliest timer in that slot sits at or after the slot's
+      // window start, which is exactly this cascade boundary.
+      const std::uint64_t boundary = ((now_tick_ >> shift) + d) << shift;
+      best = std::min(best, boundary);
+    }
+  }
+  if (overflow_count_ > 0) {
+    best = std::min(best, ((now_tick_ >> 32) + 1) << 32);
+  }
+  return best;
+}
+
+void TimerWheel::cascade_at(std::uint64_t t) {
+  // Outermost first: the overflow rescan may feed level 3, level 3 may
+  // feed level 2, and so on — by the time fire_due(t) runs, every timer
+  // due this tick sits in its level-0 slot.
+  if ((t & 0xFFFFFFFFULL) == 0 && overflow_count_ > 0) {
+    std::uint32_t node = detach_bucket(kOverflowBucket);
+    overflow_count_ = 0;
+    ++cascades_;
+    while (node != kNil) {
+      const std::uint32_t next = records_[node].next;
+      place(node, due_tick_of(records_[node].deadline_ns));
+      node = next;
+    }
+  }
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const auto shift = static_cast<std::uint64_t>(kSlotBits * level);
+    if ((t & ((1ULL << shift) - 1)) != 0) continue;
+    const auto slot = static_cast<std::uint16_t>((t >> shift) & kSlotMask);
+    const auto bucket =
+        static_cast<std::uint16_t>(static_cast<std::uint64_t>(level) * kSlots +
+                                   slot);
+    std::uint32_t node = detach_bucket(bucket);
+    if (node == kNil) continue;
+    ++cascades_;
+    while (node != kNil) {
+      const std::uint32_t next = records_[node].next;
+      place(node, due_tick_of(records_[node].deadline_ns));
+      node = next;
+    }
+  }
+}
+
+void TimerWheel::fire_due(std::uint64_t t) {
+  const auto bucket = static_cast<std::uint16_t>(t & kSlotMask);
+  std::uint32_t node = detach_bucket(bucket);
+  if (node == kNil) return;
+  // Copy the due timers out and release their records *before* invoking
+  // anything: callbacks may schedule new timers (recycling these very
+  // slots) without invalidating the iteration, and a stale TimerId can
+  // never cancel a successor thanks to the generation bump.
+  scratch_.clear();
+  while (node != kNil) {
+    Record& record = records_[node];
+    const std::uint32_t next = record.next;
+    scratch_.push_back(
+        {record.deadline_ns, record.seq, record.fn, record.ctx, record.arg});
+    record.bucket = kNoBucket;
+    ++record.gen;
+    free_.push_back(node);
+    --active_;
+    node = next;
+  }
+  // Heap-equivalent order: (raw deadline, schedule sequence) — exactly the
+  // simulator's (time, seq) tie-break, independent of list splice order.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Due& a, const Due& b) noexcept {
+              if (a.deadline_ns != b.deadline_ns)
+                return a.deadline_ns < b.deadline_ns;
+              return a.seq < b.seq;
+            });
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    ++fired_;
+    scratch_[i].fn(scratch_[i].ctx, scratch_[i].arg);
+  }
+}
+
+void TimerWheel::on_anchor() {
+  anchor_armed_ = false;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(sim_.now().ns()) / tick_ns_;
+  while (now_tick_ < target) {
+    const std::uint64_t next = next_interesting_tick();
+    if (next > target) {
+      // The tick this anchor was armed for went quiet (cancellations);
+      // just advance the wheel position.
+      now_tick_ = target;
+      break;
+    }
+    now_tick_ = next;
+    cascade_at(now_tick_);
+    fire_due(now_tick_);
+  }
+  update_anchor();
+}
+
+void TimerWheel::update_anchor() {
+  const std::uint64_t next = next_interesting_tick();
+  if (next == kNoTick) {
+    if (anchor_armed_) {
+      anchor_.cancel();
+      anchor_armed_ = false;
+    }
+    return;
+  }
+  // An anchor already armed at or before the next interesting tick will
+  // get there first (an early one fires as a no-op and re-arms).
+  if (anchor_armed_ && anchor_tick_ <= next) return;
+  arm_anchor(next);
+}
+
+void TimerWheel::arm_anchor(std::uint64_t t) {
+  anchor_.cancel();
+  anchor_tick_ = t;
+  anchor_armed_ = true;
+  anchor_ = sim_.schedule_at(
+      TimePoint::from_ns(static_cast<std::int64_t>(t * tick_ns_)),
+      [this] { on_anchor(); });
+}
+
+}  // namespace netco::sim

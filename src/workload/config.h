@@ -1,0 +1,102 @@
+// Workload engine configuration: user populations as arrival processes.
+//
+// A workload run models sessions arriving as a (possibly time-varying)
+// Poisson process; each session runs a geometric number of flows with
+// bounded-Pareto sizes, separated by exponential think times — the
+// classic heavy-tailed web-user model (Crovella/Bestavros). Four scenario
+// shapes modulate the arrival rate or attach an adversary:
+//
+//   steady       λ(t) = λ0
+//   diurnal      λ(t) = λ0 · (1 + A · sin(2πt/T))       (day/night ramp)
+//   flash-crowd  λ(t) = λ0 · M inside a burst window     (news event)
+//   ddos-burst   λ(t) = λ0, plus adversary::DosFlooder injecting forged
+//                traffic at one replica inside the burst window (the
+//                combiner's health machinery is the defense under test)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace netco::workload {
+
+/// Scenario shapes for the arrival process (see file comment).
+enum class Scenario : std::uint8_t {
+  kSteady,
+  kDiurnal,
+  kFlashCrowd,
+  kDdosBurst,
+};
+
+[[nodiscard]] const char* to_string(Scenario scenario) noexcept;
+
+/// Flow-level workload parameters. Defaults model a modest population that
+/// a k=3 combiner sustains with headroom; benches sweep the arrival rate.
+struct WorkloadConfig {
+  /// Master switch: when false inside SoakOptions, the soak runs the
+  /// classic single-stream UDP sender and nothing here is read.
+  bool enabled = false;
+
+  Scenario scenario = Scenario::kSteady;
+
+  /// Base session arrival rate λ0 (sessions per second of sim time).
+  double session_arrivals_per_sec = 200.0;
+
+  /// Arrival phase length T: arrivals stop and the drain begins at T.
+  sim::Duration duration = sim::Duration::seconds(3);
+
+  // --- population shape --------------------------------------------------
+  /// Flows per session ~ Geometric (support ≥ 1) with this mean.
+  double flows_per_session_mean = 3.0;
+  /// Think time between a session's flows ~ Exponential with this mean.
+  sim::Duration think_mean = sim::Duration::milliseconds(200);
+  /// Flow size in packets ~ bounded Pareto(alpha) on [min, max]: many
+  /// mice, few elephants — the heavy tail that breaks mean-based sizing.
+  double pareto_alpha = 1.3;
+  std::uint32_t flow_min_packets = 1;
+  std::uint32_t flow_max_packets = 256;
+  /// UDP payload bytes per packet (>= 12: flow index + token + seq).
+  std::size_t payload_bytes = 200;
+
+  // --- flow transport (windowed, iperf-like pacing) ----------------------
+  /// Packets offered per pacing tick start at `initial_window`, double per
+  /// tick up to `max_window` (slow-start shape), and halve on a timeout.
+  std::uint32_t initial_window = 2;
+  std::uint32_t max_window = 32;
+  sim::Duration pacing_interval = sim::Duration::milliseconds(2);
+  /// Completion-check timeout after a flow has offered all packets: any
+  /// shortfall is retransmitted as fresh datagrams.
+  sim::Duration rto = sim::Duration::milliseconds(40);
+  /// Retransmit rounds before the flow is abandoned.
+  std::uint32_t max_retries = 6;
+
+  // --- capacity ----------------------------------------------------------
+  /// Flow records in the flat pool: sessions beyond this are dropped (and
+  /// counted). Sized up to millions in the capacity bench.
+  std::size_t pool_capacity = 1 << 16;
+  /// Sessions transmitting concurrently; the rest queue in an intrusive
+  /// FIFO inside the pool (admission control, not allocation).
+  std::uint32_t active_cap = 256;
+
+  // --- scenario shaping --------------------------------------------------
+  /// Diurnal: λ(t) = λ0 · (1 + amplitude · sin(2πt/duration)), floored at
+  /// 5% of λ0.
+  double diurnal_amplitude = 0.6;
+  /// Flash crowd: λ multiplier inside the burst window.
+  double flash_multiplier = 8.0;
+  /// Burst window (flash crowd and DDoS) as fractions of `duration`.
+  double burst_start_frac = 0.4;
+  double burst_len_frac = 0.2;
+  /// DDoS: forged packets per second injected at replica 0 in the window.
+  double ddos_packets_per_sec = 20'000.0;
+  std::size_t ddos_packet_bytes = 200;
+
+  // --- plumbing -----------------------------------------------------------
+  /// Destination UDP port the engine binds on the receiving host.
+  std::uint16_t dst_port = 5002;
+  /// Timer-wheel tick for the per-flow timers (pacing, RTO, think).
+  sim::Duration wheel_tick = sim::Duration::microseconds(100);
+};
+
+}  // namespace netco::workload

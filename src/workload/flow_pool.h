@@ -1,0 +1,123 @@
+// Flat SoA pool of flow/session records: the zero-allocation substrate of
+// the workload engine.
+//
+// One record is one live session (holding its current flow's transport
+// state). All columns are preallocated at construction and recycled
+// through a free list — after construction the pool never allocates, no
+// matter how many sessions churn through it, so a million-session run
+// costs a million-record slab once and nothing per user.
+//
+// Stale-handle safety uses the same generation scheme as sim::TimerWheel
+// and the simulator's CancelSlab: release() bumps the record's generation,
+// so any identity captured before (timer args, in-flight packet tokens)
+// can be detected as stale by the engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace netco::workload {
+
+/// Session/flow lifecycle. kPacing and kRtoWait are both "active"
+/// (occupying an admission slot): offering packets vs waiting for the
+/// completion-check timeout.
+enum class FlowState : std::uint8_t {
+  kFree,
+  kPending,   ///< admitted to the pool, queued for an active slot
+  kPacing,    ///< offering packets, window open
+  kRtoWait,   ///< all packets offered, completion timer running
+  kThinking,  ///< between flows of one session
+};
+
+/// SoA record pool with freelist recycling. Columns are public by design:
+/// the engine is the sole user and indexes them directly (record index =
+/// column index); a record struct would re-interleave what the layout
+/// deliberately splits.
+class FlowPool {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  explicit FlowPool(std::size_t capacity)
+      : state(capacity, FlowState::kFree),
+        retries(capacity, 0),
+        window(capacity, 0),
+        generation(capacity, 1),
+        token(capacity, 0),
+        flows_left(capacity, 0),
+        total(capacity, 0),
+        to_offer(capacity, 0),
+        delivered(capacity, 0),
+        next_seq(capacity, 0),
+        fifo_next(capacity, kNil),
+        timer(capacity, 0),
+        flow_start_ns(capacity, 0) {
+    NETCO_ASSERT(capacity > 0 && capacity < kNil);
+    free_.reserve(capacity);
+    // Freelist as a stack, seeded in reverse so acquisition order is
+    // 0, 1, 2, … — keeps early records hot and runs deterministic.
+    for (std::size_t i = capacity; i-- > 0;)
+      free_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  /// Pops a free record (state kPending, fields zeroed); kNil when the
+  /// pool is exhausted. O(1), allocation-free.
+  std::uint32_t acquire() noexcept {
+    if (free_.empty()) return kNil;
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    state[index] = FlowState::kPending;
+    retries[index] = 0;
+    window[index] = 0;
+    token[index] = 0;
+    flows_left[index] = 0;
+    total[index] = 0;
+    to_offer[index] = 0;
+    delivered[index] = 0;
+    next_seq[index] = 0;
+    fifo_next[index] = kNil;
+    timer[index] = 0;
+    flow_start_ns[index] = 0;
+    ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
+    return index;
+  }
+
+  /// Returns a record to the free list and bumps its generation (stale
+  /// tokens and timer args become detectable). O(1).
+  void release(std::uint32_t index) noexcept {
+    NETCO_ASSERT(state[index] != FlowState::kFree);
+    state[index] = FlowState::kFree;
+    ++generation[index];
+    token[index] = 0;
+    free_.push_back(index);
+    --live_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return state.size(); }
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  [[nodiscard]] std::size_t peak_live() const noexcept { return peak_live_; }
+
+  // --- columns (index = record id) ---------------------------------------
+  std::vector<FlowState> state;
+  std::vector<std::uint8_t> retries;        ///< retransmit rounds this flow
+  std::vector<std::uint16_t> window;        ///< packets per pacing tick
+  std::vector<std::uint32_t> generation;    ///< bumped on release
+  std::vector<std::uint32_t> token;         ///< wire identity of the current flow
+  std::vector<std::uint32_t> flows_left;    ///< flows remaining incl. current
+  std::vector<std::uint32_t> total;         ///< packets in the current flow
+  std::vector<std::uint32_t> to_offer;      ///< packets left in this round
+  std::vector<std::uint32_t> delivered;     ///< packets landed this flow
+  std::vector<std::uint32_t> next_seq;      ///< next fresh datagram seq
+  std::vector<std::uint32_t> fifo_next;     ///< intrusive admission queue
+  std::vector<std::uint64_t> timer;         ///< TimerWheel id (0 = none)
+  std::vector<std::int64_t> flow_start_ns;  ///< FCT epoch
+
+ private:
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+};
+
+}  // namespace netco::workload

@@ -1,0 +1,310 @@
+// TimerWheel: heap-equivalence differential test plus the wheel-specific
+// mechanics (quantization, cancellation generations, cascades, overflow).
+//
+// The differential test is the load-bearing one: with tick = 1 ns the
+// wheel must be observationally identical to Simulator::schedule_at —
+// same fire times, same order including (time, seq) ties — under a mixed
+// workload of schedules, cancellations, and reschedule-on-fire chains
+// spanning every wheel level and the overflow bucket.
+#include "sim/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace netco;
+
+using FireLog = std::vector<std::pair<std::int64_t, std::uint64_t>>;
+
+/// Drives the same randomized timer program against either the raw
+/// simulator heap or a 1 ns-tick TimerWheel; the observable artifact is
+/// the (fire time, label) log.
+class DiffDriver {
+ public:
+  DiffDriver(bool use_wheel, std::uint64_t seed)
+      : sim_(1),
+        wheel_(sim_, {.tick = sim::Duration::nanoseconds(1)}),
+        use_wheel_(use_wheel),
+        rng_mutator_(seed),
+        rng_callback_(seed ^ 0x5DEECE66DULL) {}
+
+  void run() {
+    schedule_mutator(0);
+    sim_.run();
+  }
+
+  [[nodiscard]] const FireLog& log() const noexcept { return log_; }
+  [[nodiscard]] const sim::TimerWheel& wheel() const noexcept {
+    return wheel_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t label = 0;
+    sim::TimerWheel::TimerId id = sim::TimerWheel::kInvalidTimerId;
+    sim::EventHandle handle;
+  };
+
+  /// Mutator events run at exact multiples of this period; timer deadlines
+  /// are nudged off those instants so the two schedulers' interleaving of
+  /// mutator vs timer work at one instant can never differ.
+  static constexpr std::int64_t kMutatorPeriodNs = 1'000'000;
+  static constexpr int kMutatorTicks = 200;
+
+  void schedule_mutator(int i) {
+    if (i >= kMutatorTicks) return;
+    sim_.schedule_after(sim::Duration::nanoseconds(kMutatorPeriodNs),
+                        [this, i] {
+                          mutate();
+                          schedule_mutator(i + 1);
+                        });
+  }
+
+  std::int64_t pick_delay(Rng& rng) {
+    // Mixed horizons: level 0 through level 3 and past the 2^32-tick
+    // overflow horizon; repeated small values manufacture (time, seq)
+    // ties. 6e9 ns > 2^32 ns, so the overflow bucket is exercised too.
+    static constexpr std::int64_t kChoices[] = {
+        1,         2,         3,          3,          5,
+        8,         21,        101,        999,        4'242,
+        65'537,    777'777,   5'000'001,  23'456'789, 1'000'000'007,
+        6'000'000'011};
+    std::int64_t delay =
+        kChoices[rng.uniform_u64(std::size(kChoices))];
+    if ((sim_.now().ns() + delay) % kMutatorPeriodNs == 0) ++delay;
+    return delay;
+  }
+
+  void schedule_timer(std::int64_t delay) {
+    Entry entry;
+    entry.label = next_label_++;
+    if (use_wheel_) {
+      entry.id = wheel_.schedule_after(
+          sim::Duration::nanoseconds(delay),
+          [](void* ctx, std::uint64_t arg) {
+            static_cast<DiffDriver*>(ctx)->on_fire(arg);
+          },
+          this, entry.label);
+    } else {
+      entry.handle = sim_.schedule_after(
+          sim::Duration::nanoseconds(delay),
+          [this, label = entry.label] { on_fire(label); });
+    }
+    live_.push_back(entry);
+  }
+
+  void on_fire(std::uint64_t label) {
+    log_.emplace_back(sim_.now().ns(), label);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].label == label) {
+        live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    // Reschedule-on-fire chains: the callback-side RNG stream stays
+    // aligned between the two runs exactly as long as fire order does.
+    if (rng_callback_.chance(0.35)) schedule_timer(pick_delay(rng_callback_));
+  }
+
+  void mutate() {
+    const int ops = 1 + static_cast<int>(rng_mutator_.uniform_u64(4));
+    for (int i = 0; i < ops; ++i) {
+      if (!live_.empty() && rng_mutator_.chance(0.4)) {
+        const std::size_t idx = rng_mutator_.uniform_u64(live_.size());
+        if (use_wheel_) {
+          EXPECT_TRUE(wheel_.cancel(live_[idx].id));
+        } else {
+          live_[idx].handle.cancel();
+        }
+        live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        schedule_timer(pick_delay(rng_mutator_));
+      }
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::TimerWheel wheel_;
+  bool use_wheel_;
+  Rng rng_mutator_;
+  Rng rng_callback_;
+  std::uint64_t next_label_ = 0;
+  std::vector<Entry> live_;
+  FireLog log_;
+};
+
+TEST(TimerWheel, DifferentialFireOrderMatchesHeap) {
+  for (const std::uint64_t seed : {7ULL, 77ULL, 0xBADC0FFEULL}) {
+    DiffDriver heap(/*use_wheel=*/false, seed);
+    heap.run();
+    DiffDriver wheel(/*use_wheel=*/true, seed);
+    wheel.run();
+
+    ASSERT_GT(heap.log().size(), 100u) << "seed " << seed;
+    ASSERT_EQ(heap.log().size(), wheel.log().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.log().size(); ++i) {
+      ASSERT_EQ(heap.log()[i], wheel.log()[i])
+          << "divergence at fire #" << i << " (seed " << seed << ")";
+    }
+    // The workload's horizons must actually have crossed wheel levels.
+    EXPECT_GT(wheel.wheel().cascades(), 0u);
+    EXPECT_EQ(wheel.wheel().active(), 0u);
+  }
+}
+
+struct FireCtx {
+  sim::Simulator* sim = nullptr;
+  FireLog fired;
+};
+
+void record_fire(void* ctx, std::uint64_t arg) {
+  auto* c = static_cast<FireCtx*>(ctx);
+  c->fired.emplace_back(c->sim->now().ns(), arg);
+}
+
+TEST(TimerWheel, QuantizesUpNeverEarlyAtMostOneTickLate) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::microseconds(1)});
+  FireCtx ctx{&sim, {}};
+
+  // Deliberately scheduled out of deadline order: within one tick the
+  // wheel must still fire by (raw deadline, seq).
+  const std::int64_t deadlines[] = {999, 1, 1000, 2500, 1001, 1999, 2000};
+  for (std::size_t i = 0; i < std::size(deadlines); ++i) {
+    wheel.schedule_at(sim::TimePoint::from_ns(deadlines[i]), record_fire,
+                      &ctx, i);
+  }
+  sim.run();
+
+  ASSERT_EQ(ctx.fired.size(), std::size(deadlines));
+  for (const auto& [at_ns, label] : ctx.fired) {
+    const std::int64_t deadline = deadlines[label];
+    EXPECT_GE(at_ns, deadline) << "fired early";
+    EXPECT_LT(at_ns - deadline, 1000) << "more than one tick late";
+    EXPECT_EQ(at_ns % 1000, 0) << "not on a tick boundary";
+  }
+  // Tick 1 (ns 1..1000) holds deadlines 1, 999, 1000 — raw-deadline order,
+  // not schedule order. Then 1001, 1999, 2000 in tick 2; 2500 in tick 3.
+  const std::vector<std::uint64_t> want = {1, 0, 2, 4, 5, 6, 3};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(ctx.fired[i].second, want[i]) << "order mismatch at " << i;
+  }
+}
+
+TEST(TimerWheel, DueNowRoundsToNextTick) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::microseconds(1)});
+  FireCtx ctx{&sim, {}};
+  wheel.schedule_after(sim::Duration::zero(), record_fire, &ctx, 0);
+  sim.run();
+  ASSERT_EQ(ctx.fired.size(), 1u);
+  EXPECT_EQ(ctx.fired[0].first, 1000);  // next boundary, never "now"
+}
+
+TEST(TimerWheel, CancellationGenerationReuse) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::microseconds(1)});
+  FireCtx ctx{&sim, {}};
+
+  const auto a =
+      wheel.schedule_after(sim::Duration::milliseconds(1), record_fire, &ctx, 1);
+  EXPECT_TRUE(wheel.pending(a));
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(a));  // idempotent
+  EXPECT_FALSE(wheel.pending(a));
+
+  const auto b =
+      wheel.schedule_after(sim::Duration::milliseconds(1), record_fire, &ctx, 2);
+  // The slab slot is recycled, the generation is not.
+  EXPECT_EQ(a & 0xFFFFFFFFu, b & 0xFFFFFFFFu);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(wheel.cancel(a)) << "stale id must not kill the successor";
+  EXPECT_TRUE(wheel.pending(b));
+
+  sim.run();
+  ASSERT_EQ(ctx.fired.size(), 1u);
+  EXPECT_EQ(ctx.fired[0].second, 2u);
+  EXPECT_FALSE(wheel.pending(b));
+  EXPECT_FALSE(wheel.cancel(b));  // fired ids are stale too
+  EXPECT_EQ(wheel.slab_capacity(), 1u);
+  EXPECT_EQ(wheel.cancelled(), 1u);
+  EXPECT_EQ(wheel.fired(), 1u);
+}
+
+TEST(TimerWheel, FarFutureCascadesFireExactly) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::nanoseconds(1)});
+  FireCtx ctx{&sim, {}};
+
+  // One timer per wheel level, including exact cascade-boundary deadlines
+  // (256^L ticks) and two past the 2^32-tick horizon.
+  const std::int64_t deltas[] = {100,        256,           300,
+                                 65'536,     70'000,        16'777'216,
+                                 20'000'000, 4'294'967'296, 6'000'000'000};
+  for (std::size_t i = 0; i < std::size(deltas); ++i) {
+    wheel.schedule_after(sim::Duration::nanoseconds(deltas[i]), record_fire,
+                         &ctx, i);
+  }
+  EXPECT_EQ(wheel.overflow_size(), 2u);
+  sim.run();
+
+  ASSERT_EQ(ctx.fired.size(), std::size(deltas));
+  for (std::size_t i = 0; i < std::size(deltas); ++i) {
+    EXPECT_EQ(ctx.fired[i].first, deltas[i]) << "timer " << i;
+    EXPECT_EQ(ctx.fired[i].second, i) << "fire order";
+  }
+  EXPECT_GT(wheel.cascades(), 0u);
+  EXPECT_EQ(wheel.overflow_size(), 0u);
+  EXPECT_EQ(wheel.active(), 0u);
+}
+
+TEST(TimerWheel, OverflowBucketCancelAndRescan) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::nanoseconds(1)});
+  FireCtx ctx{&sim, {}};
+
+  const auto near = wheel.schedule_after(sim::Duration::seconds(5),
+                                         record_fire, &ctx, 0);
+  // 10 s crosses two rescan boundaries: at ~4.29 s it is still beyond the
+  // horizon (back to overflow), at ~8.59 s it lands on level 3.
+  wheel.schedule_after(sim::Duration::seconds(10), record_fire, &ctx, 1);
+  EXPECT_EQ(wheel.overflow_size(), 2u);
+  EXPECT_TRUE(wheel.cancel(near));
+  EXPECT_EQ(wheel.overflow_size(), 1u);
+
+  sim.run();
+  ASSERT_EQ(ctx.fired.size(), 1u);
+  EXPECT_EQ(ctx.fired[0].first, 10'000'000'000);
+  EXPECT_EQ(ctx.fired[0].second, 1u);
+  EXPECT_EQ(wheel.overflow_size(), 0u);
+}
+
+TEST(TimerWheel, ScheduleCancelChurnIsAllocationFree) {
+  sim::Simulator sim(1);
+  sim::TimerWheel wheel(sim, {.tick = sim::Duration::microseconds(1)});
+  FireCtx ctx{&sim, {}};
+
+  for (int i = 0; i < 10'000; ++i) {
+    const auto id = wheel.schedule_after(sim::Duration::microseconds(50),
+                                         record_fire, &ctx, 0);
+    ASSERT_TRUE(wheel.cancel(id));
+  }
+  // One slab slot recycled 10k times, and at most the single (stale)
+  // anchor event ever reached the simulator heap.
+  EXPECT_EQ(wheel.slab_capacity(), 1u);
+  EXPECT_EQ(wheel.active(), 0u);
+  EXPECT_EQ(wheel.cancelled(), 10'000u);
+  EXPECT_LE(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(wheel.fired(), 0u);
+  EXPECT_TRUE(ctx.fired.empty());
+}
+
+}  // namespace
