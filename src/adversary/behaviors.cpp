@@ -1,9 +1,11 @@
 #include "adversary/behaviors.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "common/assert.h"
+#include "routing/rip_msg.h"
 
 namespace netco::adversary {
 
@@ -91,6 +93,70 @@ bool DropBehavior::intercept(device::Datapath& /*dp*/,
   const auto parsed = net::parse_packet(packet);
   if (!parsed || !selects(in_port, *parsed, packet)) return false;
   return true;  // swallow
+}
+
+namespace {
+
+std::uint8_t poison_metric(std::uint8_t /*metric*/) { return 0; }
+
+}  // namespace
+
+bool RoutePoisonBehavior::intercept(device::Datapath& /*dp*/,
+                                    device::PortIndex in_port,
+                                    net::Packet& packet) {
+  const auto parsed = net::parse_packet(packet);
+  if (!parsed || !routing::is_rip_datagram(*parsed)) return false;
+  if (!selects(in_port, *parsed, packet)) return false;
+  routing::rewrite_metrics(packet, *parsed, &poison_metric);
+  return false;  // the lie continues through the pipeline
+}
+
+std::uint8_t MetricInflateBehavior::inflate8(std::uint8_t metric) {
+  return static_cast<std::uint8_t>(
+      std::min<int>(metric + 8, routing::kRipInfinity));
+}
+
+bool MetricInflateBehavior::intercept(device::Datapath& /*dp*/,
+                                      device::PortIndex in_port,
+                                      net::Packet& packet) {
+  const auto parsed = net::parse_packet(packet);
+  if (!parsed || !routing::is_rip_datagram(*parsed)) return false;
+  if (!selects(in_port, *parsed, packet)) return false;
+  // rewrite_metrics wants a capture-free function; dispatch on the step.
+  if (inflate_by_ == 8) {
+    routing::rewrite_metrics(packet, *parsed, &MetricInflateBehavior::inflate8);
+  } else {
+    const std::uint8_t step = inflate_by_;
+    const auto message = routing::parse(packet.slice(
+        parsed->payload_offset, packet.size() - parsed->payload_offset));
+    if (!message) return false;
+    for (std::size_t i = 0; i < message->entries.size(); ++i) {
+      const std::size_t at = parsed->payload_offset +
+                             routing::kRipHeaderBytes +
+                             i * routing::kRipEntryBytes +
+                             routing::kRipEntryMetricOffset;
+      packet.set_u8(at, static_cast<std::uint8_t>(std::min<int>(
+                            message->entries[i].metric + step,
+                            routing::kRipInfinity)));
+    }
+    net::fix_checksums(packet);
+  }
+  return false;
+}
+
+bool BlackholeAdBehavior::intercept(device::Datapath& /*dp*/,
+                                    device::PortIndex in_port,
+                                    net::Packet& packet) {
+  const auto parsed = net::parse_packet(packet);
+  if (!parsed) return false;
+  if (routing::is_rip_datagram(*parsed)) {
+    if (!selects(in_port, *parsed, packet)) return false;
+    routing::rewrite_metrics(packet, *parsed, &poison_metric);
+    return false;  // the attracting lie goes out
+  }
+  if (!parsed->ipv4 || !selects(in_port, *parsed, packet)) return false;
+  ++data_dropped_;
+  return true;  // the attracted traffic goes nowhere
 }
 
 bool CompositeBehavior::intercept(device::Datapath& dp,

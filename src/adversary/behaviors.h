@@ -131,6 +131,69 @@ class DropBehavior final : public BehaviorBase {
                  net::Packet& packet) override;
 };
 
+// --- control-plane attacks (routing lies, DESIGN §15) ------------------------
+//
+// These behaviours rewrite RIP-v2 announcements (routing/rip_msg.h) in
+// flight — the "corrupt routing *state*, not just packets" fault class of
+// Robust Routing Made Easy / Authenticated Adversarial Routing. Every
+// mutation is a pure function of the wire bytes (checksums re-fixed), so
+// a lying replica's copies are credible to a checksum-verifying receiver
+// and two identical liars produce bit-identical lies — the k=3 quorum
+// boundary made concrete.
+
+/// Route poisoning: advertises false low metrics. Every entry metric is
+/// rewritten to 0 (below the legal minimum), so the receiver computes
+/// offered metric 1 for every prefix — including ones the liar's side has
+/// no business attracting — and installs wrong next hops / metrics.
+class RoutePoisonBehavior final : public BehaviorBase {
+ public:
+  explicit RoutePoisonBehavior(PacketPredicate predicate)
+      : BehaviorBase(std::move(predicate)) {}
+
+  bool intercept(device::Datapath& dp, device::PortIndex in_port,
+                 net::Packet& packet) override;
+};
+
+/// Metric inflation: every entry metric is inflated by `inflate_by`
+/// (clamped to infinity), pushing traffic off the attacked path onto
+/// longer detours — convergence lands on the wrong tables.
+class MetricInflateBehavior final : public BehaviorBase {
+ public:
+  MetricInflateBehavior(PacketPredicate predicate, std::uint8_t inflate_by = 8)
+      : BehaviorBase(std::move(predicate)), inflate_by_(inflate_by) {}
+
+  bool intercept(device::Datapath& dp, device::PortIndex in_port,
+                 net::Packet& packet) override;
+
+  /// The inflation step shared with the FaultPlan applier (must stay a
+  /// pure function so identical liars emit identical bytes).
+  static std::uint8_t inflate8(std::uint8_t metric);
+
+ private:
+  std::uint8_t inflate_by_;
+};
+
+/// Blackhole advertisement: the combined attack — announcements are
+/// poisoned (metrics → 0) to *attract* traffic, and the attracted data
+/// plane (every non-RIP IPv4 packet the predicate selects) is silently
+/// dropped.
+class BlackholeAdBehavior final : public BehaviorBase {
+ public:
+  explicit BlackholeAdBehavior(PacketPredicate predicate)
+      : BehaviorBase(std::move(predicate)) {}
+
+  bool intercept(device::Datapath& dp, device::PortIndex in_port,
+                 net::Packet& packet) override;
+
+  /// Data packets swallowed (announcement rewrites count in attack_stats).
+  [[nodiscard]] std::uint64_t data_dropped() const noexcept {
+    return data_dropped_;
+  }
+
+ private:
+  std::uint64_t data_dropped_ = 0;
+};
+
 /// Chains behaviours; the first one that swallows the packet wins.
 class CompositeBehavior final : public device::DatapathInterceptor {
  public:

@@ -23,6 +23,9 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kCompareHang: return "compare.hang";
     case FaultKind::kHubCrash: return "hub.crash";
     case FaultKind::kHeartbeatLoss: return "heartbeat.loss";
+    case FaultKind::kRoutePoison: return "routing.poison";
+    case FaultKind::kMetricInflate: return "routing.inflate";
+    case FaultKind::kBlackholeAd: return "routing.blackhole";
   }
   return "unknown";
 }
@@ -69,7 +72,8 @@ std::optional<FaultKind> kind_from_string(const char* name) {
       FaultKind::kBehaviorSwap,  FaultKind::kCacheSqueeze,
       FaultKind::kCacheRestore,  FaultKind::kCompareCrash,
       FaultKind::kCompareHang,   FaultKind::kHubCrash,
-      FaultKind::kHeartbeatLoss,
+      FaultKind::kHeartbeatLoss, FaultKind::kRoutePoison,
+      FaultKind::kMetricInflate, FaultKind::kBlackholeAd,
   };
   for (const FaultKind kind : kAll) {
     if (std::strcmp(name, to_string(kind)) == 0) return kind;
@@ -122,7 +126,19 @@ std::optional<FaultPlan> FaultPlan::from_json(const std::string& json) {
     }
     const auto parsed_kind = kind_from_string(kind);
     const auto parsed_behavior = behavior_from_string(behavior);
-    if (!parsed_kind || !parsed_behavior) return std::nullopt;
+    // Reject loudly: a silent nullopt on a typo'd kind looks exactly like
+    // an empty artifact, and the run proceeds fault-free.
+    if (!parsed_kind) {
+      std::fprintf(stderr,
+                   "FaultPlan::from_json: unknown fault kind \"%s\"\n", kind);
+      return std::nullopt;
+    }
+    if (!parsed_behavior) {
+      std::fprintf(stderr,
+                   "FaultPlan::from_json: unknown swap behavior \"%s\"\n",
+                   behavior);
+      return std::nullopt;
+    }
     e.at_ns = t;
     e.kind = *parsed_kind;
     e.loss_rate = loss;

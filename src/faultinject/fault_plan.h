@@ -40,6 +40,10 @@ enum class FaultKind : std::uint8_t {
   kCompareHang,     ///< wedge the compare process — memory intact
   kHubCrash,        ///< remove an edge's fan-out rule (-1 = every edge)
   kHeartbeatLoss,   ///< partition the heartbeat path (primary stays live)
+  // Control-plane attacks on RIP announcements (src/routing, DESIGN §15).
+  kRoutePoison,     ///< replica advertises false low metrics (all → 0)
+  kMetricInflate,   ///< replica inflates every advertised metric (+8, cap 16)
+  kBlackholeAd,     ///< poisoned announcements + attracted data dropped
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;

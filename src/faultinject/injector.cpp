@@ -138,6 +138,29 @@ void FaultInjector::apply(const FaultEvent& event) {
       }
       break;
     }
+    // Control-plane attacks: a lying replica rewrites the RIP announcements
+    // flowing through it (and, for blackhole, swallows the data it attracts).
+    case FaultKind::kRoutePoison:
+    case FaultKind::kMetricInflate:
+    case FaultKind::kBlackholeAd: {
+      auto* replica = combiner.replicas[static_cast<std::size_t>(
+          event.replica)];
+      if (event.kind == FaultKind::kRoutePoison) {
+        interceptors_.push_back(
+            std::make_unique<adversary::RoutePoisonBehavior>(
+                adversary::match_all()));
+      } else if (event.kind == FaultKind::kMetricInflate) {
+        interceptors_.push_back(
+            std::make_unique<adversary::MetricInflateBehavior>(
+                adversary::match_all()));
+      } else {
+        interceptors_.push_back(
+            std::make_unique<adversary::BlackholeAdBehavior>(
+                adversary::match_all()));
+      }
+      replica->set_interceptor(interceptors_.back().get());
+      break;
+    }
     case FaultKind::kCacheSqueeze:
     case FaultKind::kCacheRestore: {
       if (combiner.compare == nullptr) break;

@@ -38,6 +38,8 @@ void LegacyRouter::route(device::PortIndex in_port, net::Packet packet) {
       ++stats_.for_self;
       if (parsed->icmp && parsed->icmp->type == net::kIcmpEchoRequest) {
         answer_echo(in_port, *parsed, packet);
+      } else if (parsed->udp && local_delivery_) {
+        local_delivery_(in_port, *parsed, packet);
       }
       return;
     }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,9 +63,15 @@ class LegacyRouter : public device::Node, public device::Datapath {
     interfaces_.push_back(interface);
   }
 
-  /// Adds prefix/len → next hop to the FIB.
+  /// Adds prefix/len → next hop to the FIB (replaces an existing entry).
   void add_route(net::Ipv4Address prefix, int len, NextHop hop) {
     fib_.insert(prefix, len, hop);
+  }
+
+  /// Withdraws a FIB entry (routing protocols retract what they installed).
+  /// False when no such entry existed.
+  bool remove_route(net::Ipv4Address prefix, int len) {
+    return fib_.remove(prefix, len);
   }
 
   void handle_packet(device::PortIndex in_port, net::Packet packet) override;
@@ -72,6 +79,17 @@ class LegacyRouter : public device::Node, public device::Datapath {
   /// The untrusted-datapath hook (same contract as OpenFlowSwitch).
   void set_interceptor(device::DatapathInterceptor* interceptor) {
     interceptor_ = interceptor;
+  }
+
+  /// Local protocol delivery: UDP datagrams addressed to one of this
+  /// router's interface IPs are handed here (after the for-self check)
+  /// instead of being silently absorbed — the hook a control-plane
+  /// process (routing::RipSpeaker) registers to receive announcements.
+  /// nullptr clears.
+  using LocalDelivery = std::function<void(
+      device::PortIndex, const net::ParsedPacket&, const net::Packet&)>;
+  void set_local_delivery(LocalDelivery delivery) {
+    local_delivery_ = std::move(delivery);
   }
 
   /// Emits `packet` directly on `port` (interceptors use this).
@@ -99,6 +117,7 @@ class LegacyRouter : public device::Node, public device::Datapath {
   std::vector<Interface> interfaces_;
   LpmTable<NextHop> fib_;
   device::DatapathInterceptor* interceptor_ = nullptr;
+  LocalDelivery local_delivery_;
   RouterStats stats_;
 };
 

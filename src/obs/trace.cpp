@@ -41,6 +41,10 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kResilienceHubRestart: return "resilience.hub_restart";
     case TraceEvent::kCompareSampled: return "compare.sampled";
     case TraceEvent::kCompareFastpath: return "compare.fastpath";
+    case TraceEvent::kRoutingUpdateTx: return "routing.update_tx";
+    case TraceEvent::kRoutingUpdateRx: return "routing.update_rx";
+    case TraceEvent::kRoutingRouteChange: return "routing.route_change";
+    case TraceEvent::kRoutingRouteTimeout: return "routing.route_timeout";
   }
   return "unknown";
 }

@@ -61,6 +61,10 @@ enum class TraceEvent : std::uint8_t {
   kCompareSampled,          ///< packet elected for the full k-way compare
                             ///< (sampled-verification mode, §XII)
   kCompareFastpath,         ///< fast-path release on a healthy-weighted vote
+  kRoutingUpdateTx,         ///< RIP speaker sent an announcement (§15)
+  kRoutingUpdateRx,         ///< RIP speaker accepted an announcement
+  kRoutingRouteChange,      ///< a table entry was installed/replaced/moved
+  kRoutingRouteTimeout,     ///< a route aged out (no re-confirmation)
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

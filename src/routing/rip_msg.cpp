@@ -1,0 +1,88 @@
+#include "routing/rip_msg.h"
+
+namespace netco::routing {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const RipMessage& message) {
+  std::vector<std::byte> out;
+  out.reserve(kRipHeaderBytes + message.entries.size() * kRipEntryBytes);
+  out.push_back(static_cast<std::byte>(message.command));
+  out.push_back(static_cast<std::byte>(message.version));
+  put_u16(out, static_cast<std::uint16_t>(message.entries.size()));
+  put_u32(out, message.seq);
+  for (const RipEntry& entry : message.entries) {
+    put_u32(out, entry.prefix.value());
+    out.push_back(static_cast<std::byte>(entry.len));
+    out.push_back(static_cast<std::byte>(entry.metric));
+    put_u16(out, 0);  // reserved
+  }
+  return out;
+}
+
+std::optional<RipMessage> parse(std::span<const std::byte> payload) {
+  if (payload.size() < kRipHeaderBytes) return std::nullopt;
+  RipMessage message;
+  message.command = static_cast<std::uint8_t>(payload[0]);
+  message.version = static_cast<std::uint8_t>(payload[1]);
+  if (message.command != kRipCommandResponse ||
+      message.version != kRipVersion) {
+    return std::nullopt;
+  }
+  const std::size_t count = (static_cast<std::size_t>(payload[2]) << 8) |
+                            static_cast<std::size_t>(payload[3]);
+  message.seq = get_u32(payload, 4);
+  if (payload.size() < kRipHeaderBytes + count * kRipEntryBytes) {
+    return std::nullopt;
+  }
+  message.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t base = kRipHeaderBytes + i * kRipEntryBytes;
+    RipEntry entry;
+    entry.prefix = net::Ipv4Address(get_u32(payload, base));
+    entry.len = static_cast<std::uint8_t>(payload[base + 4]);
+    entry.metric = static_cast<std::uint8_t>(payload[base + 5]);
+    message.entries.push_back(entry);
+  }
+  return message;
+}
+
+bool is_rip_datagram(const net::ParsedPacket& parsed) {
+  return parsed.ipv4 && parsed.udp && parsed.udp->dst_port == kRipPort;
+}
+
+bool rewrite_metrics(net::Packet& packet, const net::ParsedPacket& parsed,
+                     std::uint8_t (*fn)(std::uint8_t)) {
+  if (!is_rip_datagram(parsed)) return false;
+  const auto message = parse(packet.slice(
+      parsed.payload_offset, packet.size() - parsed.payload_offset));
+  if (!message) return false;
+  for (std::size_t i = 0; i < message->entries.size(); ++i) {
+    const std::size_t at = parsed.payload_offset + kRipHeaderBytes +
+                           i * kRipEntryBytes + kRipEntryMetricOffset;
+    packet.set_u8(at, fn(message->entries[i].metric));
+  }
+  net::fix_checksums(packet);
+  return true;
+}
+
+}  // namespace netco::routing

@@ -1,0 +1,81 @@
+// RIP-v2-style announcement wire format (simplified RFC 2453).
+//
+// Announcements are plain UDP datagrams (port 520) so they traverse the
+// simulated links — and the k-way combiner circuit — exactly like data
+// traffic. The format keeps the RFC's shape (command/version header, a
+// list of prefix/metric entries) but swaps the address-family boilerplate
+// for a 32-bit sequence number: periodic updates from one speaker would
+// otherwise be byte-identical, and the compare element keys entries by
+// packet content hash, so consecutive announcements must be wire-unique
+// for the quorum protocol to treat each one as its own lifecycle.
+//
+// All multi-byte fields are big-endian (network order), matching the rest
+// of the wire layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace netco::routing {
+
+/// UDP port RIP speakers send from and listen on (RFC 2453 §4).
+inline constexpr std::uint16_t kRipPort = 520;
+inline constexpr std::uint8_t kRipCommandResponse = 2;
+inline constexpr std::uint8_t kRipVersion = 2;
+/// The distance-vector infinity: metric 16 = unreachable.
+inline constexpr std::uint8_t kRipInfinity = 16;
+
+/// Fixed wire sizes (header, per-entry) and the metric byte's offset
+/// inside an entry — exported so control-plane adversaries can rewrite
+/// metrics at exact wire positions without reserializing.
+inline constexpr std::size_t kRipHeaderBytes = 8;
+inline constexpr std::size_t kRipEntryBytes = 8;
+inline constexpr std::size_t kRipEntryMetricOffset = 5;
+
+/// One advertised route: prefix/len at the given hop-count metric.
+struct RipEntry {
+  net::Ipv4Address prefix;
+  std::uint8_t len = 0;
+  std::uint8_t metric = kRipInfinity;
+
+  friend bool operator==(const RipEntry&, const RipEntry&) = default;
+};
+
+/// One announcement: header + entry list.
+struct RipMessage {
+  std::uint8_t command = kRipCommandResponse;
+  std::uint8_t version = kRipVersion;
+  /// Per-speaker send counter; makes every announcement wire-unique.
+  std::uint32_t seq = 0;
+  std::vector<RipEntry> entries;
+
+  friend bool operator==(const RipMessage&, const RipMessage&) = default;
+};
+
+/// Serializes to the wire layout described above.
+[[nodiscard]] std::vector<std::byte> serialize(const RipMessage& message);
+
+/// Parses a serialize() rendering; nullopt on truncated/garbage payloads
+/// or a version/command mismatch.
+[[nodiscard]] std::optional<RipMessage> parse(
+    std::span<const std::byte> payload);
+
+/// True when `parsed` is an IPv4 UDP datagram addressed to the RIP port.
+[[nodiscard]] bool is_rip_datagram(const net::ParsedPacket& parsed);
+
+/// Rewrites every entry metric of a RIP announcement in place through
+/// `fn(old_metric)` and repairs the IP/UDP checksums, so the lie survives
+/// a checksum-verifying receiver. Returns false (packet untouched) when
+/// the packet is not a well-formed RIP datagram. The mutation is a pure
+/// function of the wire bytes — two liars applying the same `fn` emit
+/// bit-identical copies, which is exactly what defeats a k=3 quorum.
+bool rewrite_metrics(net::Packet& packet, const net::ParsedPacket& parsed,
+                     std::uint8_t (*fn)(std::uint8_t));
+
+}  // namespace netco::routing

@@ -111,6 +111,12 @@ TEST(FaultPlan, JsonRoundTripsEveryKindAndBehavior) {
                          SwapBehavior::kHonest, 5'000'000});
   plan.events.push_back({at(), FaultKind::kHeartbeatLoss, -1, 0, 0, 0, 0,
                          SwapBehavior::kHonest, 25'000'000});
+  plan.events.push_back({at(), FaultKind::kRoutePoison, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kMetricInflate, -1, 1, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kBlackholeAd, -1, 2, 0, 0, 0,
+                         SwapBehavior::kHonest, 0});
   plan.normalize();
 
   const std::string json = plan.to_json();
@@ -169,6 +175,29 @@ TEST(FaultPlan, FromJsonRejectsMalformedInput) {
           "\"loss\":0,\"latency_ns\":0,\"capacity\":0,\"behavior\":\"honest\","
           "\"duration_ns\":0}")
           .has_value());
+}
+
+TEST(FaultPlan, FromJsonRejectsUnknownRoutingKind) {
+  // A typo'd routing kind ("routing.posion") must fail the whole parse,
+  // not degrade into an empty plan — a silently-empty plan would make an
+  // attack run look benign.
+  EXPECT_FALSE(
+      FaultPlan::from_json(
+          "{\"t\":1,\"kind\":\"routing.posion\",\"edge\":-1,\"replica\":0,"
+          "\"loss\":0,\"latency_ns\":0,\"capacity\":0,\"behavior\":\"honest\","
+          "\"duration_ns\":0}")
+          .has_value());
+  // The correctly-spelled kinds parse.
+  for (const char* kind :
+       {"routing.poison", "routing.inflate", "routing.blackhole"}) {
+    const std::string line =
+        std::string("{\"t\":1,\"kind\":\"") + kind +
+        "\",\"edge\":-1,\"replica\":0,\"loss\":0,\"latency_ns\":0,"
+        "\"capacity\":0,\"behavior\":\"honest\",\"duration_ns\":0}";
+    const auto parsed = FaultPlan::from_json(line);
+    ASSERT_TRUE(parsed.has_value()) << kind;
+    ASSERT_EQ(parsed->events.size(), 1u) << kind;
+  }
 }
 
 // --- FaultInjector --------------------------------------------------------

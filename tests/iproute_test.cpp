@@ -184,6 +184,70 @@ TEST(LegacyRouter, NonIpDropped) {
   EXPECT_EQ(f.router.router_stats().non_ip_dropped, 1u);
 }
 
+TEST(LegacyRouter, DefaultRouteCatchesOffTableDestinations) {
+  // A 0.0.0.0/0 gateway route turns "no route" into a forward: the
+  // fallback a RIP-injected default would install.
+  RouterFixture f;
+  f.router.add_route(net::Ipv4Address{}, 0,
+                     NextHop{.port = 1, .next_mac = f.h2.mac()});
+  net::Packet seen;
+  f.h2.set_rx_tap([&](const net::Packet& p) { seen = p; });
+  std::vector<std::byte> payload(16, std::byte{0});
+  f.h1.transmit(net::build_udp(
+      net::EthernetHeader{.dst = f.router.interfaces()[0].mac,
+                          .src = f.h1.mac()},
+      std::nullopt,
+      net::Ipv4Header{.src = f.h1.ip(),
+                      .dst = net::Ipv4Address::from_octets(192, 168, 1, 1)},
+      net::UdpHeader{.src_port = 1, .dst_port = 2}, payload));
+  f.sim.run();
+  EXPECT_EQ(f.router.router_stats().no_route, 0u);
+  EXPECT_EQ(f.router.router_stats().forwarded, 1u);
+  const auto parsed = net::parse_packet(seen);
+  ASSERT_TRUE(parsed && parsed->ipv4);
+  EXPECT_EQ(parsed->ipv4->dst, net::Ipv4Address::from_octets(192, 168, 1, 1));
+}
+
+TEST(LegacyRouter, HostRouteBeatsCoveringPrefixUntilRemoved) {
+  // A /32 for one address inside h2's /24 steers just that flow out the
+  // h1-side port; withdrawing it (remove_route, what the RIP speaker does
+  // on invalidation) restores the covering /24.
+  RouterFixture f;
+  f.router.add_route(f.h2.ip(), 32, NextHop{.port = 0, .next_mac = f.h1.mac()});
+  int at_h1 = 0;
+  f.h1.set_rx_tap([&](const net::Packet&) { ++at_h1; });
+  f.h1.transmit(f.h1_to_h2());
+  f.sim.run();
+  EXPECT_EQ(at_h1, 1);
+  EXPECT_EQ(f.h2.stats().rx_packets, 0u);
+
+  EXPECT_TRUE(f.router.remove_route(f.h2.ip(), 32));
+  EXPECT_FALSE(f.router.remove_route(f.h2.ip(), 32));  // already gone
+  f.h1.transmit(f.h1_to_h2());
+  f.sim.run();
+  EXPECT_EQ(at_h1, 1);  // no longer hairpinned
+  EXPECT_EQ(f.h2.stats().rx_packets, 1u);
+}
+
+TEST(LegacyRouter, TtlExpiryIcmpIsWellFormed) {
+  // Companion to TtlExpiryDropsAndSignals: the time-exceeded message must
+  // be a valid ICMP packet from the receiving interface back to the
+  // sender, not just "something" on the wire.
+  RouterFixture f;
+  net::Packet seen;
+  f.h1.set_rx_tap([&](const net::Packet& p) { seen = p; });
+  f.h1.transmit(f.h1_to_h2(1));
+  f.sim.run();
+  const auto parsed = net::parse_packet(seen);
+  ASSERT_TRUE(parsed && parsed->ipv4 && parsed->icmp);
+  EXPECT_EQ(parsed->icmp->type, 11);
+  EXPECT_EQ(parsed->ipv4->src, f.router.interfaces()[0].ip);
+  EXPECT_EQ(parsed->ipv4->dst, f.h1.ip());
+  EXPECT_EQ(parsed->eth.src, f.router.interfaces()[0].mac);
+  EXPECT_EQ(parsed->eth.dst, f.h1.mac());
+  EXPECT_TRUE(net::checksums_valid(seen));
+}
+
 TEST(LegacyRouter, InterceptorHookWorks) {
   RouterFixture f;
   adversary::DropBehavior drop(adversary::match_all());
