@@ -235,8 +235,8 @@ inline void merge_bench_section(const char* path, const std::string& name,
 /// file, so regenerating the base never clobbers sibling benches' output.
 inline void write_bench_base(
     const char* path, const std::string& base_object_json,
-    std::initializer_list<const char*> preserved = {"datacenter", "workload",
-                                                    "routing"}) {
+    std::initializer_list<const char*> preserved = {
+        "datacenter", "workload", "routing", "static_failover"}) {
   const std::string doc = read_text_file(path);
   std::string carried;
   for (const char* name : preserved) {

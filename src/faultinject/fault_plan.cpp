@@ -26,6 +26,10 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kRoutePoison: return "routing.poison";
     case FaultKind::kMetricInflate: return "routing.inflate";
     case FaultKind::kBlackholeAd: return "routing.blackhole";
+    case FaultKind::kFabricLinkCut: return "link.cut";
+    case FaultKind::kFabricLinkRestore: return "link.restore";
+    case FaultKind::kSwitchKill: return "switch.kill";
+    case FaultKind::kSwitchRestart: return "switch.restart";
   }
   return "unknown";
 }
@@ -49,11 +53,13 @@ std::string FaultPlan::to_json() const {
         buf, sizeof buf,
         "%s\n{\"t\":%lld,\"kind\":\"%s\",\"edge\":%d,\"replica\":%d,"
         "\"loss\":%.4f,\"latency_ns\":%lld,\"capacity\":%zu,"
-        "\"behavior\":\"%s\",\"duration_ns\":%lld}",
+        "\"behavior\":\"%s\",\"duration_ns\":%lld,"
+        "\"node\":%d,\"peer\":%d}",
         i == 0 ? "" : ",", static_cast<long long>(e.at_ns),
         to_string(e.kind), e.edge, e.replica, e.loss_rate,
         static_cast<long long>(e.extra_latency_ns), e.cache_capacity,
-        to_string(e.behavior), static_cast<long long>(e.duration_ns));
+        to_string(e.behavior), static_cast<long long>(e.duration_ns), e.node,
+        e.peer);
     out.append(buf, static_cast<std::size_t>(n));
   }
   out += "\n]";
@@ -74,6 +80,8 @@ std::optional<FaultKind> kind_from_string(const char* name) {
       FaultKind::kCompareHang,   FaultKind::kHubCrash,
       FaultKind::kHeartbeatLoss, FaultKind::kRoutePoison,
       FaultKind::kMetricInflate, FaultKind::kBlackholeAd,
+      FaultKind::kFabricLinkCut, FaultKind::kFabricLinkRestore,
+      FaultKind::kSwitchKill,    FaultKind::kSwitchRestart,
   };
   for (const FaultKind kind : kAll) {
     if (std::strcmp(name, to_string(kind)) == 0) return kind;
@@ -112,16 +120,20 @@ std::optional<FaultPlan> FaultPlan::from_json(const std::string& json) {
     std::size_t capacity = 0;
     char kind[64] = {0};
     char behavior[64] = {0};
+    int node = -1, peer = -1;
     int n = std::sscanf(
         line.c_str(),
         "{\"t\":%lld,\"kind\":\"%63[^\"]\",\"edge\":%d,\"replica\":%d,"
         "\"loss\":%lf,\"latency_ns\":%lld,\"capacity\":%zu,"
-        "\"behavior\":\"%63[^\"]\",\"duration_ns\":%lld}",
+        "\"behavior\":\"%63[^\"]\",\"duration_ns\":%lld,"
+        "\"node\":%d,\"peer\":%d}",
         &t, kind, &e.edge, &e.replica, &loss, &latency, &capacity, behavior,
-        &duration);
+        &duration, &node, &peer);
     if (n == 8) {
       duration = 0;  // pre-duration_ns rendering
-    } else if (n != 9) {
+    } else if (n == 9) {
+      // pre-node/peer rendering: defaults stand
+    } else if (n != 11) {
       return std::nullopt;
     }
     const auto parsed_kind = kind_from_string(kind);
@@ -146,6 +158,8 @@ std::optional<FaultPlan> FaultPlan::from_json(const std::string& json) {
     e.cache_capacity = capacity;
     e.behavior = *parsed_behavior;
     e.duration_ns = duration;
+    e.node = node;
+    e.peer = peer;
     plan.events.push_back(e);
   }
   plan.normalize();

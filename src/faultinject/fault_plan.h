@@ -44,6 +44,14 @@ enum class FaultKind : std::uint8_t {
   kRoutePoison,     ///< replica advertises false low metrics (all → 0)
   kMetricInflate,   ///< replica inflates every advertised metric (+8, cap 16)
   kBlackholeAd,     ///< poisoned announcements + attracted data dropped
+  // Fabric faults on the fat-tree itself (DESIGN §16). These address
+  // switches by topology id (FaultEvent::node/peer), not combiner edge/
+  // replica indexes — the existing kLinkDown/kLinkUp names stay reserved
+  // for edge↔replica links.
+  kFabricLinkCut,      ///< cut the fabric link node↔peer ("link.cut")
+  kFabricLinkRestore,  ///< restore it ("link.restore")
+  kSwitchKill,         ///< kill a fabric switch: all its links down
+  kSwitchRestart,      ///< restore every link of a killed fabric switch
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -73,6 +81,12 @@ struct FaultEvent {
   /// 0 = no scheduled recovery. Appended last so existing positional
   /// initializers stay valid.
   std::int64_t duration_ns = 0;
+  /// Fabric-fault addressing (kFabricLink*/kSwitch*): topology switch ids
+  /// per topo::FatTreeTopology::switch_by_sid. `node` is the switch the
+  /// fault targets; `peer` the other endpoint for link faults (-1 for
+  /// switch faults). Appended after duration_ns for the same reason.
+  int node = -1;
+  int peer = -1;
 };
 
 /// Knobs for FaultPlan::random().
@@ -114,7 +128,8 @@ struct FaultPlan {
 
   /// Parses a to_json() rendering back into a plan (the seed is not part
   /// of the JSON and comes back 0). Accepts records without the trailing
-  /// duration_ns field, so plans serialized before it existed still load.
+  /// node/peer fields, and without duration_ns before that, so plans
+  /// serialized by older builds still load.
   /// std::nullopt on any malformed event line.
   static std::optional<FaultPlan> from_json(const std::string& json);
 

@@ -161,6 +161,16 @@ void FaultInjector::apply(const FaultEvent& event) {
       replica->set_interceptor(interceptors_.back().get());
       break;
     }
+    // Fabric faults address fat-tree switches, not the combiner circuit;
+    // they belong to FabricFaultInjector (fabric_injector.h).
+    case FaultKind::kFabricLinkCut:
+    case FaultKind::kFabricLinkRestore:
+    case FaultKind::kSwitchKill:
+    case FaultKind::kSwitchRestart:
+      NETCO_LOG_INFO("faultinject",
+                     "{} skipped: fabric fault on a combiner-circuit injector",
+                     to_string(event.kind));
+      break;
     case FaultKind::kCacheSqueeze:
     case FaultKind::kCacheRestore: {
       if (combiner.compare == nullptr) break;

@@ -208,6 +208,42 @@ void QuorumTraceChecker::append(const obs::TraceRecord& record) {
       }
       break;
     }
+    case obs::TraceEvent::kFailoverReroute: {
+      ++reroutes_;
+      if (!config_.check_duplicates || !config_.audit_reroutes) break;
+      // Same duplicate-window audit as egress, keyed by the emitting
+      // switch: every detour hop rewrites the VID (new content hash), so
+      // a repeat of the same id at the same switch is a genuine loop.
+      const EgressGroup& group = egress_group(record.component);
+      while (!release_log_.empty() &&
+             record.at_ns - std::get<0>(release_log_.front()) >
+                 config_.duplicate_window_ns) {
+        const auto& [ns, gid, id] = release_log_.front();
+        auto& stale = last_release_[gid];
+        const auto iit = stale.find(id);
+        if (iit != stale.end() && iit->second == ns) stale.erase(iit);
+        release_log_.pop_front();
+      }
+      ++report_.checks;
+      auto& per_group = last_release_[group.id];
+      const auto it = per_group.find(record.packet_id);
+      if (it != per_group.end() &&
+          record.at_ns - it->second <= config_.duplicate_window_ns) {
+        ++duplicates_;
+        char buf[160];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s: reroute loop on %016llx at t=%lld (previous t=%lld)",
+            record.component.c_str(),
+            static_cast<unsigned long long>(record.packet_id),
+            static_cast<long long>(record.at_ns),
+            static_cast<long long>(it->second));
+        report_.note(buf);
+      }
+      per_group[record.packet_id] = record.at_ns;
+      release_log_.emplace_back(record.at_ns, group.id, record.packet_id);
+      break;
+    }
     case obs::TraceEvent::kCompareEvictTimeout:
     case obs::TraceEvent::kCompareEvictCapacity:
     case obs::TraceEvent::kCompareEvictQuota:

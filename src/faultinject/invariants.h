@@ -78,6 +78,13 @@ class QuorumTraceChecker final : public obs::TraceSink {
     /// (same content hash) on a longer timescale.
     bool check_duplicates = false;
     std::int64_t duplicate_window_ns = 50'000'000;  ///< 50 ms
+    /// Audit failover.reroute records with the same duplicate-window
+    /// machinery, keyed per emitting switch: the same packet id rerouted
+    /// twice at the same switch inside the window means a detour loop
+    /// (the VID hop budget should make that impossible — each rewrite
+    /// changes the content hash, so only a genuine same-state revisit
+    /// trips this). Requires check_duplicates.
+    bool audit_reroutes = false;
   };
 
   explicit QuorumTraceChecker(Config config, obs::TraceSink* tee = nullptr)
@@ -97,6 +104,9 @@ class QuorumTraceChecker final : public obs::TraceSink {
   [[nodiscard]] std::uint64_t duplicates() const noexcept {
     return duplicates_;
   }
+
+  /// failover.reroute records seen (static backup layer detours).
+  [[nodiscard]] std::uint64_t reroutes() const noexcept { return reroutes_; }
 
   /// FNV-1a over the canonical JSON of every record seen so far — equal
   /// hashes across two runs mean byte-identical trace streams.
@@ -143,6 +153,7 @@ class QuorumTraceChecker final : public obs::TraceSink {
   /// packet id → last release time, plus a pruning log so the maps stay
   /// bounded by the window's release volume.
   std::uint64_t duplicates_ = 0;
+  std::uint64_t reroutes_ = 0;
   std::vector<std::unordered_map<std::uint64_t, std::int64_t>> last_release_;
   std::deque<std::tuple<std::int64_t, std::size_t, std::uint64_t>>
       release_log_;

@@ -45,6 +45,13 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kRoutingUpdateRx: return "routing.update_rx";
     case TraceEvent::kRoutingRouteChange: return "routing.route_change";
     case TraceEvent::kRoutingRouteTimeout: return "routing.route_timeout";
+    case TraceEvent::kFailoverLinkDown: return "failover.link_down";
+    case TraceEvent::kFailoverLinkUp: return "failover.link_up";
+    case TraceEvent::kFailoverSwitchKill: return "failover.switch_kill";
+    case TraceEvent::kFailoverSwitchRestart: return "failover.switch_restart";
+    case TraceEvent::kFailoverPortDead: return "failover.port_dead";
+    case TraceEvent::kFailoverPortLive: return "failover.port_live";
+    case TraceEvent::kFailoverReroute: return "failover.reroute";
   }
   return "unknown";
 }

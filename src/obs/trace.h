@@ -65,6 +65,13 @@ enum class TraceEvent : std::uint8_t {
   kRoutingUpdateRx,         ///< RIP speaker accepted an announcement
   kRoutingRouteChange,      ///< a table entry was installed/replaced/moved
   kRoutingRouteTimeout,     ///< a route aged out (no re-confirmation)
+  kFailoverLinkDown,        ///< fault plan cut a fabric link (§16)
+  kFailoverLinkUp,          ///< fault plan restored a fabric link
+  kFailoverSwitchKill,      ///< fault plan killed a whole fabric switch
+  kFailoverSwitchRestart,   ///< fault plan restarted a fabric switch
+  kFailoverPortDead,        ///< keepalive declared a switch port dead
+  kFailoverPortLive,        ///< keepalive declared a switch port live again
+  kFailoverReroute,         ///< lookup detoured past a dead-guarded rule
 };
 
 /// Stable lowercase name ("compare.release", ...) used in the JSON export.

@@ -59,25 +59,46 @@ std::size_t FlowTable::remove_strict(const Match& match,
   return before - entries_.size();
 }
 
+namespace {
+
+// True when the entry's liveness guard refers to a port marked dead.
+bool guard_dead(const FlowSpec& spec, const std::vector<bool>* dead_ports) {
+  return dead_ports != nullptr && spec.guard_port != device::kNoPort &&
+         spec.guard_port < dead_ports->size() && (*dead_ports)[spec.guard_port];
+}
+
+}  // namespace
+
 FlowEntry* FlowTable::lookup(const Match& key, std::size_t packet_bytes,
-                             sim::TimePoint now) {
+                             sim::TimePoint now,
+                             const std::vector<bool>* dead_ports,
+                             bool* guard_skipped) {
   ++stats_.lookups;
   expire(now);
+  bool skipped = false;
   for (auto& entry : entries_) {
-    if (entry.spec.match.covers(key)) {
-      ++stats_.hits;
-      ++entry.packet_count;
-      entry.byte_count += packet_bytes;
-      entry.last_used = now;
-      return &entry;
+    if (!entry.spec.match.covers(key)) continue;
+    if (guard_dead(entry.spec, dead_ports)) {
+      skipped = true;
+      continue;
     }
+    ++stats_.hits;
+    ++entry.packet_count;
+    entry.byte_count += packet_bytes;
+    entry.last_used = now;
+    if (guard_skipped != nullptr) *guard_skipped = skipped;
+    return &entry;
   }
+  if (guard_skipped != nullptr) *guard_skipped = skipped;
   return nullptr;
 }
 
-const FlowEntry* FlowTable::peek(const Match& key, sim::TimePoint now) const {
+const FlowEntry* FlowTable::peek(const Match& key, sim::TimePoint now,
+                                 const std::vector<bool>* dead_ports) const {
   for (const auto& entry : entries_) {
-    if (!entry.expired(now) && entry.spec.match.covers(key)) return &entry;
+    if (entry.expired(now) || !entry.spec.match.covers(key)) continue;
+    if (guard_dead(entry.spec, dead_ports)) continue;
+    return &entry;
   }
   return nullptr;
 }

@@ -6,11 +6,18 @@
 #include <optional>
 #include <vector>
 
+#include "device/node.h"
 #include "openflow/action.h"
 #include "openflow/match.h"
 #include "sim/time.h"
 
 namespace netco::openflow {
+
+/// Cookie stamped on rules installed by the static failover compiler
+/// (src/failover): the datapath counts hits on these as
+/// "resilience.static_hit" — traffic carried by the pre-installed backup
+/// layer rather than the primary routing.
+inline constexpr std::uint64_t kFailoverCookie = 0xFA11'0FEE;
 
 /// The caller-provided part of a flow entry (what a flow-mod carries).
 struct FlowSpec {
@@ -20,6 +27,13 @@ struct FlowSpec {
   sim::Duration idle_timeout = sim::Duration::zero();  ///< zero == none
   sim::Duration hard_timeout = sim::Duration::zero();  ///< zero == none
   std::uint64_t cookie = 0;   ///< opaque controller tag
+  /// Per-port liveness guard (OF fast-failover semantics): when set, the
+  /// entry only matches while this port is live per the liveness vector
+  /// the datapath hands to lookup(). kNoPort = unconditional. This is how
+  /// the failover compiler chains primary → backup rules without any
+  /// controller round-trip: the guard flips with the keepalive state and
+  /// the next lower-priority rule takes over instantly.
+  device::PortIndex guard_port = device::kNoPort;
 };
 
 /// An installed entry: spec + counters + timestamps.
@@ -72,12 +86,22 @@ class FlowTable {
   /// Highest-priority entry covering the exact key, updating counters and
   /// the idle timestamp. Expired entries are evicted on the way.
   /// Returns nullptr on table miss.
+  ///
+  /// When `dead_ports` is given, entries whose guard_port indexes a true
+  /// slot are skipped (fast-failover group semantics). `guard_skipped`,
+  /// when non-null, is set to whether at least one covering entry was
+  /// skipped this way before the returned hit — i.e. the packet was
+  /// actively rerouted around a dead port, not just carried by a backup
+  /// rule it would have matched anyway.
   FlowEntry* lookup(const Match& key, std::size_t packet_bytes,
-                    sim::TimePoint now);
+                    sim::TimePoint now,
+                    const std::vector<bool>* dead_ports = nullptr,
+                    bool* guard_skipped = nullptr);
 
   /// Read-only lookup without counter updates (monitoring/tests).
-  [[nodiscard]] const FlowEntry* peek(const Match& key,
-                                      sim::TimePoint now) const;
+  [[nodiscard]] const FlowEntry* peek(
+      const Match& key, sim::TimePoint now,
+      const std::vector<bool>* dead_ports = nullptr) const;
 
   /// Evicts every entry expired at `now`. Returns the number evicted.
   std::size_t expire(sim::TimePoint now);

@@ -15,10 +15,29 @@ OpenFlowSwitch::OpenFlowSwitch(sim::Simulator& simulator, std::string name,
       profile_(std::move(profile)),
       obs_(&obs::global()),
       table_hit_counter_(&obs_->metrics.counter("switch.table_hits")),
-      table_miss_counter_(&obs_->metrics.counter("switch.table_misses")) {}
+      table_miss_counter_(&obs_->metrics.counter("switch.table_misses")),
+      reroute_counter_(&obs_->metrics.counter("failover.reroute")),
+      static_hit_counter_(&obs_->metrics.counter("resilience.static_hit")) {}
 
 bool OpenFlowSwitch::port_blocked(device::PortIndex port) const noexcept {
   return port < blocked_.size() && blocked_[port];
+}
+
+void OpenFlowSwitch::set_port_live(device::PortIndex port, bool live) {
+  if (port == device::kNoPort) return;
+  if (port_dead_.size() <= port) port_dead_.resize(port + 1, false);
+  port_dead_[port] = !live;
+  obs::Tracer& tracer = obs_->tracer;
+  if (tracer.enabled()) {
+    tracer.emit(simulator().now().ns(),
+                live ? obs::TraceEvent::kFailoverPortLive
+                     : obs::TraceEvent::kFailoverPortDead,
+                0, name(), static_cast<std::int32_t>(port), 0);
+  }
+}
+
+bool OpenFlowSwitch::port_live(device::PortIndex port) const noexcept {
+  return !(port < port_dead_.size() && port_dead_[port]);
 }
 
 void OpenFlowSwitch::handle_packet(device::PortIndex in_port,
@@ -50,7 +69,7 @@ void OpenFlowSwitch::pipeline(device::PortIndex in_port, net::Packet packet) {
   const auto parsed = net::parse_packet(packet);
   if (!parsed) return;  // unparseable runt: drop silently
   const Match key = Match::exact_from(*parsed, in_port);
-  FlowEntry* entry = table_.lookup(key, packet.size(), simulator().now());
+  FlowEntry* entry = guarded_lookup(key, packet);
   if (entry == nullptr) {
     ++stats_.table_misses;
     table_miss_counter_->inc();
@@ -59,6 +78,30 @@ void OpenFlowSwitch::pipeline(device::PortIndex in_port, net::Packet packet) {
   }
   table_hit_counter_->inc();
   apply_actions(in_port, entry->spec.actions, std::move(packet));
+}
+
+FlowEntry* OpenFlowSwitch::guarded_lookup(const Match& key,
+                                          const net::Packet& packet) {
+  bool rerouted = false;
+  FlowEntry* entry = table_.lookup(key, packet.size(), simulator().now(),
+                                   port_dead_.empty() ? nullptr : &port_dead_,
+                                   &rerouted);
+  if (entry != nullptr && rerouted) {
+    ++stats_.failover_reroutes;
+    reroute_counter_->inc();
+    obs::Tracer& tracer = obs_->tracer;
+    if (tracer.enabled()) {
+      tracer.emit(simulator().now().ns(), obs::TraceEvent::kFailoverReroute,
+                  packet.content_hash(), name(),
+                  static_cast<std::int32_t>(entry->spec.priority),
+                  static_cast<std::uint32_t>(packet.size()));
+    }
+  }
+  if (entry != nullptr && entry->spec.cookie == kFailoverCookie) {
+    ++stats_.static_backup_hits;
+    static_hit_counter_->inc();
+  }
+  return entry;
 }
 
 void OpenFlowSwitch::apply_actions(device::PortIndex in_port,
@@ -92,8 +135,7 @@ void OpenFlowSwitch::apply_actions(device::PortIndex in_port,
             const auto parsed = net::parse_packet(packet);
             if (parsed) {
               const Match key = Match::exact_from(*parsed, in_port);
-              FlowEntry* entry =
-                  table_.lookup(key, packet.size(), simulator().now());
+              FlowEntry* entry = guarded_lookup(key, packet);
               if (entry != nullptr) {
                 apply_actions(in_port, entry->spec.actions, packet);
               } else {

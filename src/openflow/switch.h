@@ -51,6 +51,12 @@ struct SwitchStats {
   std::uint64_t packet_ins_sent = 0;
   std::uint64_t dropped_blocked_port = 0;
   std::uint64_t dropped_no_rule = 0;  ///< miss with no controller attached
+  /// Lookups that skipped at least one dead-port-guarded entry before
+  /// hitting — packets actively detoured by the static failover layer.
+  std::uint64_t failover_reroutes = 0;
+  /// Hits on rules stamped with kFailoverCookie (total packets carried
+  /// by compiler-installed backup rules, rerouted or not).
+  std::uint64_t static_backup_hits = 0;
 };
 
 /// An OpenFlow 1.0 switch.
@@ -117,6 +123,13 @@ class OpenFlowSwitch : public device::Node, public device::Datapath {
   /// Whether `port` is administratively blocked.
   [[nodiscard]] bool port_blocked(device::PortIndex port) const noexcept;
 
+  /// Per-port liveness as seen by the local keepalive: a dead port
+  /// disables every flow entry guarded on it (fast-failover semantics).
+  /// Unlike a port block this is a *matching* condition, not an egress
+  /// filter — lower-priority backup rules take over at the lookup.
+  void set_port_live(device::PortIndex port, bool live);
+  [[nodiscard]] bool port_live(device::PortIndex port) const noexcept;
+
   /// The vendor personality.
   [[nodiscard]] const SwitchProfile& profile() const noexcept {
     return profile_;
@@ -124,6 +137,9 @@ class OpenFlowSwitch : public device::Node, public device::Datapath {
 
  private:
   void pipeline(device::PortIndex in_port, net::Packet packet);
+  /// Table lookup under the liveness-guard vector, with failover
+  /// counter/trace accounting (shared by the pipeline and OFPP_TABLE).
+  FlowEntry* guarded_lookup(const Match& key, const net::Packet& packet);
   void punt_to_controller(device::PortIndex in_port, net::Packet packet);
   void count_tx(const net::Packet& packet, device::PortIndex port);
 
@@ -132,11 +148,14 @@ class OpenFlowSwitch : public device::Node, public device::Datapath {
   obs::Observability* obs_;
   obs::Counter* table_hit_counter_;   ///< "switch.table_hits"
   obs::Counter* table_miss_counter_;  ///< "switch.table_misses"
+  obs::Counter* reroute_counter_;     ///< "failover.reroute"
+  obs::Counter* static_hit_counter_;  ///< "resilience.static_hit"
   ControlChannel* control_ = nullptr;
   DatapathInterceptor* interceptor_ = nullptr;
   IngressTap tap_;
   SwitchStats stats_;
   std::vector<bool> blocked_;
+  std::vector<bool> port_dead_;  ///< liveness-guard state (true = dead)
   std::vector<std::uint64_t> port_rx_;
   std::vector<std::uint64_t> port_tx_;
 };

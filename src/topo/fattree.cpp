@@ -23,6 +23,19 @@ FatTreeTopology::FatTreeTopology(FatTreeOptions options)
       network_(simulator_) {
   NETCO_ASSERT_MSG(options_.k >= 2 && options_.k % 2 == 0,
                    "fat-tree arity must be even");
+  if (options_.combine_agg) {
+    // A combiner position outside the pod/index grid would silently build
+    // a combiner-free tree (the wrapped-slot test never fires) while the
+    // caller believes the protected position exists — fail loudly instead.
+    NETCO_ASSERT_MSG(
+        options_.combine_agg->pod >= 0 && options_.combine_agg->pod < options_.k,
+        "combiner pod out of range");
+    NETCO_ASSERT_MSG(options_.combine_agg->index >= 0 &&
+                         options_.combine_agg->index < options_.k / 2,
+                     "combiner aggregation index out of range");
+    NETCO_ASSERT_MSG(options_.combiner.k >= 1,
+                     "combiner needs at least one replica");
+  }
   build();
   install_routes();
 }
@@ -76,12 +89,15 @@ void FatTreeTopology::build() {
   for (int p = 0; p < k; ++p) {
     for (int e = 0; e < h; ++e) {
       for (int i = 0; i < h; ++i) {
-        network_.connect(*edges_[static_cast<std::size_t>(p)]
-                              [static_cast<std::size_t>(e)],
-                         *hosts_[static_cast<std::size_t>(p)]
-                                [static_cast<std::size_t>(e)]
-                                [static_cast<std::size_t>(i)],
-                         options_.link);
+        const auto conn =
+            network_.connect(*edges_[static_cast<std::size_t>(p)]
+                                  [static_cast<std::size_t>(e)],
+                             *hosts_[static_cast<std::size_t>(p)]
+                                    [static_cast<std::size_t>(e)]
+                                    [static_cast<std::size_t>(i)],
+                             options_.link);
+        fabric_links_.push_back(
+            {edge_sid(p, e), conn.a_port, -1, conn.b_port, conn.link});
       }
     }
   }
@@ -93,13 +109,20 @@ void FatTreeTopology::build() {
                                            [static_cast<std::size_t>(a)];
       if (agg != nullptr) {
         for (int e = 0; e < h; ++e) {
-          network_.connect(*agg, *edges_[static_cast<std::size_t>(p)]
-                                        [static_cast<std::size_t>(e)],
-                           options_.link);
+          const auto conn =
+              network_.connect(*agg, *edges_[static_cast<std::size_t>(p)]
+                                            [static_cast<std::size_t>(e)],
+                               options_.link);
+          fabric_links_.push_back({agg_sid(p, a), conn.a_port, edge_sid(p, e),
+                                   conn.b_port, conn.link});
         }
         for (int s = 0; s < h; ++s) {
-          network_.connect(*agg, *cores_[static_cast<std::size_t>(a * h + s)],
-                           options_.link);
+          const auto conn = network_.connect(
+              *agg, *cores_[static_cast<std::size_t>(a * h + s)],
+              options_.link);
+          fabric_links_.push_back({agg_sid(p, a), conn.a_port,
+                                   core_sid(a * h + s), conn.b_port,
+                                   conn.link});
         }
         continue;
       }
@@ -185,28 +208,11 @@ void FatTreeTopology::install_routes() {
           }
         }
 
-        // Core switches: down toward pod p. Core ports are pod-ordered by
-        // construction... except when a combiner was built mid-sequence,
-        // so resolve via the recorded neighbor ports where applicable.
+        // Core switches: down toward pod p (core_port_to_pod resolves the
+        // wrapped pod's shifted numbering via the combiner's records).
         for (int c = 0; c < h * h; ++c) {
-          device::PortIndex port = static_cast<device::PortIndex>(p);
-          if (options_.combine_agg && c / h == options_.combine_agg->index) {
-            // This core connects to the wrapped position in some pod; port
-            // numbering on this core may be shifted. Recompute: ports were
-            // created pod-by-pod; for the wrapped pod the port came from
-            // the combiner build (recorded), others in order around it.
-            // Simplest correct resolution: pods < wrapped pod keep their
-            // index; the wrapped pod's port is recorded; pods > wrapped
-            // pod also keep their index (the combiner build happens at
-            // exactly the wrapped pod's turn in the wiring sequence).
-            if (p == options_.combine_agg->pod) {
-              const int slot = c % h;
-              port = combiner_.neighbor_port[static_cast<std::size_t>(
-                  h + slot)];
-            }
-          }
           controller::install_mac_route(*cores_[static_cast<std::size_t>(c)],
-                                        mac, port);
+                                        mac, core_port_to_pod(c, p));
         }
       }
     }
@@ -231,6 +237,67 @@ openflow::OpenFlowSwitch* FatTreeTopology::agg(int pod, int index) {
 
 openflow::OpenFlowSwitch& FatTreeTopology::core(int index) {
   return *cores_.at(static_cast<std::size_t>(index));
+}
+
+int FatTreeTopology::edge_sid(int pod, int index) const noexcept {
+  const int h = options_.k / 2;
+  return pod * h + index;
+}
+
+int FatTreeTopology::agg_sid(int pod, int index) const noexcept {
+  const int h = options_.k / 2;
+  return options_.k * h + pod * h + index;
+}
+
+int FatTreeTopology::core_sid(int index) const noexcept {
+  const int h = options_.k / 2;
+  return 2 * options_.k * h + index;
+}
+
+int FatTreeTopology::switch_count() const noexcept {
+  const int h = options_.k / 2;
+  return 2 * options_.k * h + h * h;
+}
+
+openflow::OpenFlowSwitch* FatTreeTopology::switch_by_sid(int sid) {
+  const int k = options_.k;
+  const int h = k / 2;
+  if (sid < 0 || sid >= switch_count()) return nullptr;
+  if (sid < k * h) {
+    return edges_[static_cast<std::size_t>(sid / h)]
+                 [static_cast<std::size_t>(sid % h)];
+  }
+  if (sid < 2 * k * h) {
+    const int rel = sid - k * h;
+    return aggs_[static_cast<std::size_t>(rel / h)]
+                [static_cast<std::size_t>(rel % h)];  // null if wrapped
+  }
+  return cores_[static_cast<std::size_t>(sid - 2 * k * h)];
+}
+
+device::PortIndex FatTreeTopology::core_port_to_pod(int c, int p) const {
+  const int h = options_.k / 2;
+  // Ports were created pod-by-pod, so port index == pod — except on cores
+  // attached to the wrapped position, whose port toward the wrapped pod
+  // came from the combiner build (recorded). Pods before and after the
+  // wrapped one keep their index because the combiner build happens at
+  // exactly the wrapped pod's turn in the wiring sequence.
+  if (options_.combine_agg && c / h == options_.combine_agg->index &&
+      p == options_.combine_agg->pod) {
+    return combiner_.neighbor_port[static_cast<std::size_t>(h + c % h)];
+  }
+  return static_cast<device::PortIndex>(p);
+}
+
+const FabricLink* FatTreeTopology::find_fabric_link(int sid_a,
+                                                    int sid_b) const {
+  for (const FabricLink& fl : fabric_links_) {
+    if ((fl.a_sid == sid_a && fl.b_sid == sid_b) ||
+        (fl.a_sid == sid_b && fl.b_sid == sid_a)) {
+      return &fl;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace topo

@@ -42,6 +42,17 @@ struct FatTreeOptions {
   core::CombinerOptions combiner;
 };
 
+/// One recorded switch↔switch (or switch↔host) wire of the fabric,
+/// addressable by stable switch ids — what fault plans cut and the
+/// failover compiler reasons about.
+struct FabricLink {
+  int a_sid = -1;                 ///< switch id of endpoint a
+  device::PortIndex a_port = device::kNoPort;
+  int b_sid = -1;                 ///< switch id of endpoint b; -1 = a host
+  device::PortIndex b_port = device::kNoPort;
+  link::Link* link = nullptr;
+};
+
 /// An instantiated fat-tree.
 class FatTreeTopology {
  public:
@@ -80,6 +91,32 @@ class FatTreeTopology {
     return options_;
   }
 
+  // --- stable switch ids (fault plans, failover compiler) ---------------
+  // Edges: [0, k·h) pod-major (sid = pod·h + index); aggregations:
+  // [k·h, 2k·h) (sid = k·h + pod·h + index); cores: [2k·h, 2k·h + h²).
+  // The wrapped aggregation position keeps its sid but resolves to
+  // nullptr (it is k replicas behind trusted edges, not one switch).
+  [[nodiscard]] int edge_sid(int pod, int index) const noexcept;
+  [[nodiscard]] int agg_sid(int pod, int index) const noexcept;
+  [[nodiscard]] int core_sid(int index) const noexcept;
+  [[nodiscard]] int switch_count() const noexcept;
+  [[nodiscard]] openflow::OpenFlowSwitch* switch_by_sid(int sid);
+
+  /// Down-port of core `c` toward pod `p` (resolves the wrapped pod's
+  /// shifted numbering via the combiner's recorded neighbor ports).
+  [[nodiscard]] device::PortIndex core_port_to_pod(int c, int p) const;
+
+  /// Every wire of the fabric in construction order (host wires carry
+  /// b_sid = -1).
+  [[nodiscard]] const std::vector<FabricLink>& fabric_links() const noexcept {
+    return fabric_links_;
+  }
+
+  /// The recorded wire between two switch sids, either orientation;
+  /// nullptr when the pair is not adjacent (or involves the wrapped
+  /// position, whose wires belong to the combiner).
+  [[nodiscard]] const FabricLink* find_fabric_link(int sid_a, int sid_b) const;
+
  private:
   void build();
   void install_routes();
@@ -94,6 +131,7 @@ class FatTreeTopology {
   std::vector<openflow::OpenFlowSwitch*> cores_;
   std::vector<std::vector<std::vector<host::Host*>>> hosts_;
   core::CombinerInstance combiner_;
+  std::vector<FabricLink> fabric_links_;
 
   // Port bookkeeping (uniform by construction order):
   // hosts occupy edge ports [0, k/2), aggs occupy edge ports [k/2, k).

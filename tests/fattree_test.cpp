@@ -82,6 +82,29 @@ TEST(FatTree, LargerArityK6Builds) {
   EXPECT_EQ(report.received, 5);
 }
 
+TEST(FatTreeDeathTest, RejectsInvalidOptionsLoudly) {
+  // An odd or degenerate arity, or a combiner position outside the grid,
+  // must die at construction — a silently-wrong fabric would invalidate
+  // every measurement taken on it.
+  FatTreeOptions odd;
+  odd.k = 5;
+  EXPECT_DEATH(FatTreeTopology{odd}, "arity must be even");
+  FatTreeOptions zero;
+  zero.k = 0;
+  EXPECT_DEATH(FatTreeTopology{zero}, "arity must be even");
+  FatTreeOptions bad_pod;
+  bad_pod.combine_agg = AggPosition{.pod = 4, .index = 0};
+  EXPECT_DEATH(FatTreeTopology{bad_pod}, "combiner pod out of range");
+  FatTreeOptions bad_index;
+  bad_index.combine_agg = AggPosition{.pod = 0, .index = 2};
+  EXPECT_DEATH(FatTreeTopology{bad_index},
+               "combiner aggregation index out of range");
+  FatTreeOptions no_replicas;
+  no_replicas.combine_agg = AggPosition{.pod = 0, .index = 0};
+  no_replicas.combiner.k = 0;
+  EXPECT_DEATH(FatTreeTopology{no_replicas}, "at least one replica");
+}
+
 TEST(FatTree, CombinerWrappedAggStillRoutes) {
   FatTreeOptions options;
   options.combine_agg = AggPosition{.pod = 0, .index = 0};

@@ -117,6 +117,14 @@ TEST(FaultPlan, JsonRoundTripsEveryKindAndBehavior) {
                          SwapBehavior::kHonest, 0});
   plan.events.push_back({at(), FaultKind::kBlackholeAd, -1, 2, 0, 0, 0,
                          SwapBehavior::kHonest, 0});
+  plan.events.push_back({at(), FaultKind::kFabricLinkCut, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0, 10, 2});
+  plan.events.push_back({at(), FaultKind::kFabricLinkRestore, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0, 10, 2});
+  plan.events.push_back({at(), FaultKind::kSwitchKill, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0, 16, -1});
+  plan.events.push_back({at(), FaultKind::kSwitchRestart, -1, 0, 0, 0, 0,
+                         SwapBehavior::kHonest, 0, 16, -1});
   plan.normalize();
 
   const std::string json = plan.to_json();
@@ -135,8 +143,49 @@ TEST(FaultPlan, JsonRoundTripsEveryKindAndBehavior) {
     EXPECT_EQ(a.cache_capacity, b.cache_capacity) << "event " << i;
     EXPECT_EQ(a.behavior, b.behavior) << "event " << i;
     EXPECT_EQ(a.duration_ns, b.duration_ns) << "event " << i;
+    EXPECT_EQ(a.node, b.node) << "event " << i;
+    EXPECT_EQ(a.peer, b.peer) << "event " << i;
   }
   EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(FaultPlan, LegacyLinesWithoutNodePeerStillParse) {
+  // Plans serialized before the fabric vocabulary existed carry no
+  // node/peer members; they must load with the -1 defaults so archived
+  // bench artifacts stay replayable.
+  const auto parsed = FaultPlan::from_json(
+      "{\"t\":1,\"kind\":\"link.down\",\"edge\":0,\"replica\":1,"
+      "\"loss\":0,\"latency_ns\":0,\"capacity\":0,\"behavior\":\"honest\","
+      "\"duration_ns\":0}");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0].node, -1);
+  EXPECT_EQ(parsed->events[0].peer, -1);
+}
+
+TEST(FaultPlan, FromJsonRejectsUnknownFabricKind) {
+  // The rejection contract extends to the fabric vocabulary: a typo'd
+  // kind fails the whole parse instead of degrading to an empty plan.
+  EXPECT_FALSE(
+      FaultPlan::from_json(
+          "{\"t\":1,\"kind\":\"switch.evaporate\",\"edge\":-1,\"replica\":0,"
+          "\"loss\":0,\"latency_ns\":0,\"capacity\":0,\"behavior\":\"honest\","
+          "\"duration_ns\":0,\"node\":3,\"peer\":-1}")
+          .has_value());
+  // The correctly-spelled fabric kinds parse with their addressing.
+  for (const char* kind :
+       {"link.cut", "link.restore", "switch.kill", "switch.restart"}) {
+    const std::string line =
+        std::string("{\"t\":1,\"kind\":\"") + kind +
+        "\",\"edge\":-1,\"replica\":0,\"loss\":0,\"latency_ns\":0,"
+        "\"capacity\":0,\"behavior\":\"honest\",\"duration_ns\":0,"
+        "\"node\":7,\"peer\":12}";
+    const auto parsed = FaultPlan::from_json(line);
+    ASSERT_TRUE(parsed.has_value()) << kind;
+    ASSERT_EQ(parsed->events.size(), 1u) << kind;
+    EXPECT_EQ(parsed->events[0].node, 7) << kind;
+    EXPECT_EQ(parsed->events[0].peer, 12) << kind;
+  }
 }
 
 TEST(FaultPlan, JsonRoundTripsRandomPlanWithTrustedFaults) {
